@@ -1,0 +1,42 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+The geographic experiments (Tables 4, Figures 7-10, 12-14, §3.7) share
+one expensive analysis campaign per scenario; it is built once per
+session here so each benchmark measures its own analysis step, not the
+shared simulation.
+
+Scale: REPRO_SCALE controls the simulated world size (default 1600
+routed blocks ~ 1/3000 of the paper's 5.2M).  Reduce it for quicker,
+noisier runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import control_campaign, covid_campaign
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run a deterministic experiment exactly once under the benchmark."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def assert_shapes(result, report: str) -> None:
+    """Print the experiment report and fail on any unmet shape check."""
+    print()
+    print(report)
+    failed = [name for name, ok in result.shape_checks().items() if not ok]
+    assert not failed, f"shape checks failed: {failed}"
+
+
+@pytest.fixture(scope="session")
+def covid():
+    """The 2020h1 campaign (baseline 2020m1-ejnw, detection 2020h1-ejnw)."""
+    return covid_campaign()
+
+
+@pytest.fixture(scope="session")
+def control():
+    """The 2023q1 control campaign."""
+    return control_campaign()

@@ -1,0 +1,10 @@
+"""S3.3 ablation -- the classification funnel without/with 1-loss repair."""
+
+from repro.experiments import ablation_repair
+
+from conftest import assert_shapes, run_once
+
+
+def test_ablation_repair(benchmark):
+    result = run_once(benchmark, ablation_repair.run)
+    assert_shapes(result, ablation_repair.format_report(result))

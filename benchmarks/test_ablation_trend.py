@@ -1,0 +1,10 @@
+"""S2.5 ablation -- STL vs naive decomposition under outliers."""
+
+from repro.experiments import ablation_trend
+
+from conftest import assert_shapes, run_once
+
+
+def test_ablation_trend(benchmark):
+    result = run_once(benchmark, ablation_trend.run)
+    assert_shapes(result, ablation_trend.format_report(result))

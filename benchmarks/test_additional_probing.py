@@ -1,0 +1,10 @@
+"""S3.2.3 -- under-probed block selection and additional probing."""
+
+from repro.experiments import additional_probing
+
+from conftest import assert_shapes, run_once
+
+
+def test_additional_probing(benchmark):
+    result = run_once(benchmark, additional_probing.run, n_blocks=130, seed=30)
+    assert_shapes(result, additional_probing.format_report(result))

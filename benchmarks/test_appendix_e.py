@@ -1,0 +1,10 @@
+"""Appendix E -- Indiana University spring break detection."""
+
+from repro.experiments import appendix_e
+
+from conftest import assert_shapes, run_once
+
+
+def test_appendix_e(benchmark):
+    result = run_once(benchmark, appendix_e.run)
+    assert_shapes(result, appendix_e.format_report(result))

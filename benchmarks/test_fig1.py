@@ -1,0 +1,10 @@
+"""Figure 1 -- the USC example block end to end."""
+
+from repro.experiments import fig1
+
+from conftest import assert_shapes, run_once
+
+
+def test_fig1(benchmark):
+    result = run_once(benchmark, fig1.run)
+    assert_shapes(result, fig1.format_report(result))

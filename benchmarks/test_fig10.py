@@ -1,0 +1,14 @@
+"""Figure 10 -- the New Delhi gridcell, riots and curfew (S4.3).
+
+Shares the session-scoped analysis campaign; the benchmark measures the
+experiment's own aggregation step.
+"""
+
+from repro.experiments import fig10
+
+from conftest import assert_shapes, run_once
+
+
+def test_fig10(benchmark, covid):
+    result = run_once(benchmark, fig10.run, covid)
+    assert_shapes(result, fig10.format_report(result))

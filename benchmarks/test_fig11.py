@@ -1,0 +1,10 @@
+"""Figure 11 (B.1) -- representative lockdown and renumbering blocks."""
+
+from repro.experiments import fig11
+
+from conftest import assert_shapes, run_once
+
+
+def test_fig11(benchmark):
+    result = run_once(benchmark, fig11.run)
+    assert_shapes(result, fig11.format_report(result))

@@ -1,0 +1,14 @@
+"""Figures 12/13 (B.3-B.4) -- the 2023q1 control quarter.
+
+Shares the session-scoped analysis campaign; the benchmark measures the
+experiment's own aggregation step.
+"""
+
+from repro.experiments import fig12_13
+
+from conftest import assert_shapes, run_once
+
+
+def test_fig12_13(benchmark, control):
+    result = run_once(benchmark, fig12_13.run, control)
+    assert_shapes(result, fig12_13.format_report(result))

@@ -1,0 +1,14 @@
+"""Figure 14 (Appendix D) -- coverage vs gridcell thresholds.
+
+Shares the session-scoped analysis campaign; the benchmark measures the
+experiment's own aggregation step.
+"""
+
+from repro.experiments import fig14
+
+from conftest import assert_shapes, run_once
+
+
+def test_fig14(benchmark, covid):
+    result = run_once(benchmark, fig14.run, covid)
+    assert_shapes(result, fig14.format_report(result))

@@ -1,0 +1,10 @@
+"""Figure 15 (B.2) -- the migrated VPN block."""
+
+from repro.experiments import fig15
+
+from conftest import assert_shapes, run_once
+
+
+def test_fig15(benchmark):
+    result = run_once(benchmark, fig15.run)
+    assert_shapes(result, fig15.format_report(result))

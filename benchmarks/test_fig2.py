@@ -1,0 +1,10 @@
+"""Figure 2 -- the toy reconstruction table."""
+
+from repro.experiments import fig2
+
+from conftest import assert_shapes, run_once
+
+
+def test_fig2(benchmark):
+    result = run_once(benchmark, fig2.run)
+    assert_shapes(result, fig2.format_report(result))

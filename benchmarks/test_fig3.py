@@ -1,0 +1,10 @@
+"""Figure 3 -- full-block-scan time CDFs for 1-4 observers."""
+
+from repro.experiments import fig3
+
+from conftest import assert_shapes, run_once
+
+
+def test_fig3(benchmark):
+    result = run_once(benchmark, fig3.run, n_blocks=150, seed=26)
+    assert_shapes(result, fig3.format_report(result))

@@ -1,0 +1,10 @@
+"""Figure 4 -- reconstruction vs ground truth correlations."""
+
+from repro.experiments import fig4
+
+from conftest import assert_shapes, run_once
+
+
+def test_fig4(benchmark):
+    result = run_once(benchmark, fig4.run)
+    assert_shapes(result, fig4.format_report(result))

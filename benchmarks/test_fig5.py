@@ -1,0 +1,10 @@
+"""Figure 5 -- reconstruction failures by scan time x size."""
+
+from repro.experiments import fig5
+
+from conftest import assert_shapes, run_once
+
+
+def test_fig5(benchmark):
+    result = run_once(benchmark, fig5.run, seed=28)
+    assert_shapes(result, fig5.format_report(result))

@@ -1,0 +1,10 @@
+"""Figure 6 -- 1-loss repair of a congested observer."""
+
+from repro.experiments import fig6
+
+from conftest import assert_shapes, run_once
+
+
+def test_fig6(benchmark):
+    result = run_once(benchmark, fig6.run)
+    assert_shapes(result, fig6.format_report(result))

@@ -1,0 +1,14 @@
+"""Figure 7 -- change-sensitive blocks by gridcell and continent.
+
+Shares the session-scoped analysis campaign; the benchmark measures the
+experiment's own aggregation step.
+"""
+
+from repro.experiments import fig7
+
+from conftest import assert_shapes, run_once
+
+
+def test_fig7(benchmark, covid):
+    result = run_once(benchmark, fig7.run, covid)
+    assert_shapes(result, fig7.format_report(result))

@@ -1,0 +1,14 @@
+"""Figure 8 -- daily downward fractions per continent, 2020h1.
+
+Shares the session-scoped analysis campaign; the benchmark measures the
+experiment's own aggregation step.
+"""
+
+from repro.experiments import fig8
+
+from conftest import assert_shapes, run_once
+
+
+def test_fig8(benchmark, covid):
+    result = run_once(benchmark, fig8.run, covid)
+    assert_shapes(result, fig8.format_report(result))

@@ -1,0 +1,14 @@
+"""Figure 9 -- Wuhan and Beijing gridcell trends (S4.2).
+
+Shares the session-scoped analysis campaign; the benchmark measures the
+experiment's own aggregation step.
+"""
+
+from repro.experiments import fig9
+
+from conftest import assert_shapes, run_once
+
+
+def test_fig9(benchmark, covid):
+    result = run_once(benchmark, fig9.run, covid)
+    assert_shapes(result, fig9.format_report(result))

@@ -1,0 +1,14 @@
+"""S3.7 -- location validation at the UAE and Slovenia gridcells.
+
+Shares the session-scoped analysis campaign; the benchmark measures the
+experiment's own aggregation step.
+"""
+
+from repro.experiments import locations
+
+from conftest import assert_shapes, run_once
+
+
+def test_locations(benchmark, covid):
+    result = run_once(benchmark, locations.run, covid)
+    assert_shapes(result, locations.format_report(result))

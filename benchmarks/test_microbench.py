@@ -1,0 +1,87 @@
+"""Component micro-benchmarks: throughput of the pipeline's hot paths.
+
+Unlike the experiment benchmarks (single deterministic runs that
+regenerate paper tables), these measure the per-call cost of the core
+algorithms over realistic quarter-length inputs.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.core.reconstruction import reconstruct
+from repro.core.repair import one_loss_repair
+from repro.core.trend import TrendExtractor
+from repro.net.events import Calendar
+from repro.net.prober import TrinocularObserver, probe_order
+from repro.net.usage import WorkplaceUsage, round_grid
+from repro.timeseries.detect import detect_cusum
+from repro.timeseries.stl import stl_decompose
+
+QUARTER_S = 84 * 86_400.0
+
+
+@pytest.fixture(scope="module")
+def quarter_block():
+    calendar = Calendar(epoch=datetime(2020, 1, 1), tz_hours=0.0)
+    usage = WorkplaceUsage(n_desktops=60, n_servers=2)
+    truth = usage.generate(np.random.default_rng(5), round_grid(QUARTER_S), calendar)
+    order = probe_order(truth.n_addresses, 5)
+    log = TrinocularObserver("e").observe(truth, order, rng=np.random.default_rng(6))
+    return truth, order, log
+
+
+def test_prober_quarter(benchmark, quarter_block):
+    """Adaptive probing of one block for a quarter (the simulation's hot loop)."""
+    truth, order, _ = quarter_block
+
+    def probe():
+        return TrinocularObserver("e").observe(
+            truth, order, rng=np.random.default_rng(1)
+        )
+
+    log = benchmark(probe)
+    assert len(log) > 10_000
+
+
+def test_reconstruction_quarter(benchmark, quarter_block):
+    """Hold-last-state reconstruction over a quarter of probes."""
+    truth, _, log = quarter_block
+    recon = benchmark(reconstruct, log, truth.addresses, truth.col_times)
+    assert recon.is_complete
+
+
+def test_one_loss_repair_quarter(benchmark, quarter_block):
+    """1-loss repair over a quarter of probes."""
+    _, _, log = quarter_block
+    repaired = benchmark(one_loss_repair, log)
+    assert len(repaired) == len(log)
+
+
+def test_stl_quarter_hourly(benchmark):
+    """STL decomposition of a quarter-length hourly series."""
+    rng = np.random.default_rng(2)
+    n = 24 * 84
+    t = np.arange(n)
+    y = 12 + 5 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 0.5, n)
+    result = benchmark(stl_decompose, y, 24)
+    assert np.isfinite(result.trend).all()
+
+
+def test_cusum_quarter_hourly(benchmark):
+    """CUSUM over a quarter-length hourly trend."""
+    rng = np.random.default_rng(3)
+    y = np.concatenate([np.zeros(1000), np.full(1016, -3.0)]) + rng.normal(0, 0.1, 2016)
+    result = benchmark(detect_cusum, y, 1.0, 0.0055)
+    assert len(result.downward) >= 1
+
+
+def test_trend_extraction_quarter(benchmark, quarter_block):
+    """Full trend extraction (resample + interpolate + robust STL)."""
+    truth, _, log = quarter_block
+    recon = reconstruct(log, truth.addresses, truth.col_times)
+    result = benchmark(TrendExtractor().extract, recon.counts)
+    assert np.isfinite(result.trend.values).all()

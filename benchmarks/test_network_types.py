@@ -1,0 +1,10 @@
+"""S2.6 future work -- workplace-vs-home network classification."""
+
+from repro.experiments import network_types
+
+from conftest import assert_shapes, run_once
+
+
+def test_network_types(benchmark):
+    result = run_once(benchmark, network_types.run)
+    assert_shapes(result, network_types.format_report(result))

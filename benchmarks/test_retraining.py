@@ -1,0 +1,10 @@
+"""S3.4 ongoing work -- quarterly target-list retraining."""
+
+from repro.experiments import retraining
+
+from conftest import assert_shapes, run_once
+
+
+def test_retraining(benchmark):
+    result = run_once(benchmark, retraining.run)
+    assert_shapes(result, retraining.format_report(result))

@@ -1,0 +1,10 @@
+"""Table 2 -- the block-filtering funnel across seven dataset windows."""
+
+from repro.experiments import table2
+
+from conftest import assert_shapes, run_once
+
+
+def test_table2(benchmark):
+    result = run_once(benchmark, table2.run, n_blocks=150, seed=21)
+    assert_shapes(result, table2.format_report(result))

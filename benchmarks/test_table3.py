@@ -1,0 +1,10 @@
+"""Table 3 -- reconstruction validation against survey ground truth."""
+
+from repro.experiments import table3
+
+from conftest import assert_shapes, run_once
+
+
+def test_table3(benchmark):
+    result = run_once(benchmark, table3.run, n_blocks=170, seed=22)
+    assert_shapes(result, table3.format_report(result))

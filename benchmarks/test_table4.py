@@ -1,0 +1,14 @@
+"""Table 4 -- geographic coverage of change detection.
+
+Shares the session-scoped analysis campaign; the benchmark measures the
+experiment's own aggregation step.
+"""
+
+from repro.experiments import table4
+
+from conftest import assert_shapes, run_once
+
+
+def test_table4(benchmark, covid):
+    result = run_once(benchmark, table4.run, covid)
+    assert_shapes(result, table4.format_report(result))

@@ -1,0 +1,10 @@
+"""Table 5 -- sampled-block precision/recall against WFH dates."""
+
+from repro.experiments import table5
+
+from conftest import assert_shapes, run_once
+
+
+def test_table5(benchmark):
+    result = run_once(benchmark, table5.run, n_blocks=260, seed=25)
+    assert_shapes(result, table5.format_report(result))

@@ -1,0 +1,5 @@
+"""Legacy setup shim: this offline environment lacks the `wheel` package,
+so PEP 660 editable installs fail; pip falls back to `setup.py develop`."""
+from setuptools import setup
+
+setup()

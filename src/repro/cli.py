@@ -1,0 +1,104 @@
+"""Command-line entry point: run any paper experiment.
+
+::
+
+    repro list                 # show available experiments
+    repro fig1                 # run one experiment, print its report
+    repro all                  # run everything (slow at full scale)
+    repro export [directory]   # write campaign results as CSV/GeoJSON (S2.9)
+    REPRO_SCALE=200 repro fig8 # scale the simulated world down/up
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import REGISTRY
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Inferring Changes in Daily Human Activity from "
+            "Internet Response' (IMC 2023)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name (see 'repro list'), 'list', 'all', or 'export'",
+    )
+    parser.add_argument(
+        "destination",
+        nargs="?",
+        default="repro_results",
+        help="output directory for 'export' (default: repro_results)",
+    )
+    return parser
+
+
+def _export(destination: str) -> int:
+    """Write the covid campaign's results like the paper's website (§2.9)."""
+    from pathlib import Path
+
+    from .experiments.common import covid_campaign
+    from .export import blocks_csv, gridcell_csv, gridcell_geojson
+
+    out = Path(destination)
+    out.mkdir(parents=True, exist_ok=True)
+    campaign = covid_campaign()
+    aggregator = campaign.aggregator()
+    n_rows = gridcell_csv(
+        aggregator,
+        out / "gridcell_daily.csv",
+        first_day=campaign.first_day,
+        n_days=campaign.n_days,
+    )
+    n_cells = gridcell_geojson(aggregator, out / "change_sensitive_map.geojson")
+    n_blocks = blocks_csv(list(campaign.records), out / "blocks.csv")
+    print(f"wrote {n_rows} gridcell-day rows, {n_cells} map cells, {n_blocks} blocks to {out}/")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    name = args.experiment
+
+    if name == "list":
+        print("available experiments:")
+        for key, module in REGISTRY.items():
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"  {key:20s} {doc}")
+        return 0
+
+    if name == "export":
+        return _export(args.destination)
+
+    if name == "all":
+        failures = []
+        for key, module in REGISTRY.items():
+            print(f"=== {key} ===")
+            try:
+                module.main()
+            except Exception as exc:  # surface which experiment broke
+                failures.append(key)
+                print(f"experiment {key} failed: {exc}", file=sys.stderr)
+            print()
+        if failures:
+            print(f"failed experiments: {', '.join(failures)}", file=sys.stderr)
+            return 1
+        return 0
+
+    module = REGISTRY.get(name)
+    if module is None:
+        print(f"unknown experiment {name!r}; try 'repro list'", file=sys.stderr)
+        return 2
+    module.main()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

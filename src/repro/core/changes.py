@@ -1,0 +1,161 @@
+"""Change detection on the extracted trend (§2.6).
+
+CUSUM (threshold 1, drift 0.001) runs on the z-normalized STL trend and
+flags upward/downward baseline shifts.  Downward changes in
+change-sensitive blocks are the human-activity signal; closely paired
+down/up changes are re-labelled as outages or ISP renumbering and
+excluded from human-activity analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..timeseries.detect import CusumResult, detect_cusum
+from ..timeseries.series import SECONDS_PER_DAY, TimeSeries
+
+__all__ = ["ChangeEvent", "ChangeDetector", "ChangeReport"]
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """One detected baseline change, in epoch seconds."""
+
+    time_s: float  # alarm time
+    start_s: float  # estimated change onset
+    end_s: float  # estimated change ending
+    direction: int  # +1 up, -1 down
+    magnitude: float  # z-units of the normalized trend
+    cause: str = "unclassified"  # "human-candidate" | "outage-like"
+
+    @property
+    def day(self) -> int:
+        """UTC day index of the change onset-to-alarm midpoint."""
+        return int((self.start_s + self.time_s) / 2 // SECONDS_PER_DAY)
+
+    @property
+    def alarm_day(self) -> int:
+        return int(self.time_s // SECONDS_PER_DAY)
+
+    @property
+    def is_downward(self) -> bool:
+        return self.direction < 0
+
+    def with_cause(self, cause: str) -> "ChangeEvent":
+        return ChangeEvent(
+            time_s=self.time_s,
+            start_s=self.start_s,
+            end_s=self.end_s,
+            direction=self.direction,
+            magnitude=self.magnitude,
+            cause=cause,
+        )
+
+
+@dataclass(frozen=True)
+class ChangeReport:
+    """All changes of one block plus the CUSUM traces for plotting."""
+
+    events: tuple[ChangeEvent, ...]
+    cusum: CusumResult
+    normalized_trend: TimeSeries
+
+    @property
+    def human_candidates(self) -> tuple[ChangeEvent, ...]:
+        return tuple(e for e in self.events if e.cause == "human-candidate")
+
+    @property
+    def downward(self) -> tuple[ChangeEvent, ...]:
+        return tuple(e for e in self.events if e.is_downward)
+
+    def downward_on_day(self, day: int) -> bool:
+        return any(e.is_downward and e.cause == "human-candidate" and e.day == day for e in self.events)
+
+
+@dataclass(frozen=True)
+class ChangeDetector:
+    """CUSUM-based change detection with outage filtering.
+
+    ``max_outage_gap_s`` controls the §2.6 filter: a downward change
+    followed by an upward change within this gap (or vice versa — ISP
+    anti-disruptions) is labelled outage-like rather than human.
+    """
+
+    threshold: float = 1.0
+    #: the paper's drift of 0.001 applies to 11-minute samples; on the
+    #: hourly trend grid the same z-per-day suppression is 0.001 * 60/11
+    drift: float = 0.0055
+    max_outage_gap_s: float = 3 * SECONDS_PER_DAY
+    filter_outages: bool = True
+    #: alarms this close to either end of the series are boundary
+    #: transients — STL edge bias at the start of a quarter, exactly the
+    #: artifact that made the paper discard events at quarter changes.
+    #: The daily-period STL trend smoother spans ~2 days, so 3 days of
+    #: guard covers its edge bias.
+    guard_days: float = 3.0
+
+    def detect(self, normalized_trend: TimeSeries) -> ChangeReport:
+        """Run CUSUM over a z-scored trend series."""
+        result = detect_cusum(
+            normalized_trend.values, self.threshold, self.drift, estimate_ending=True
+        )
+        times = normalized_trend.times
+        events = tuple(
+            ChangeEvent(
+                time_s=float(times[a.alarm]),
+                start_s=float(times[a.start]),
+                end_s=float(times[min(a.end, times.size - 1)]),
+                direction=a.direction,
+                magnitude=a.amplitude,
+            )
+            for a in result.alarms
+        )
+        events = self._mark_boundary_transients(events, times)
+        if self.filter_outages:
+            events = self._classify_causes(events)
+        else:
+            events = tuple(
+                e.with_cause("human-candidate") if e.cause == "unclassified" else e
+                for e in events
+            )
+        return ChangeReport(events=events, cusum=result, normalized_trend=normalized_trend)
+
+    def _mark_boundary_transients(
+        self, events: tuple[ChangeEvent, ...], times: np.ndarray
+    ) -> tuple[ChangeEvent, ...]:
+        if times.size == 0 or not events:
+            return events
+        guard = self.guard_days * SECONDS_PER_DAY
+        lo = float(times[0]) + guard
+        hi = float(times[-1]) - guard
+        return tuple(
+            e.with_cause("boundary-transient") if (e.time_s < lo or e.time_s > hi) else e
+            for e in events
+        )
+
+    def _classify_causes(
+        self, events: tuple[ChangeEvent, ...]
+    ) -> tuple[ChangeEvent, ...]:
+        """Label closely paired opposite-direction changes as outage-like.
+
+        A sharp outage (or ISP renumbering) makes CUSUM emit a cluster of
+        downward alarms followed closely by a cluster of upward alarms, so
+        any opposite-direction pair within ``max_outage_gap_s`` marks both
+        members — not only adjacent events.
+        """
+        causes = [e.cause for e in events]
+        interior = [i for i, c in enumerate(causes) if c == "unclassified"]
+        for a_pos, i in enumerate(interior):
+            for j in interior[a_pos + 1 :]:
+                a, b = events[i], events[j]
+                if b.start_s - a.time_s > self.max_outage_gap_s:
+                    break
+                if a.direction == -b.direction:
+                    causes[i] = "outage-like"
+                    causes[j] = "outage-like"
+        return tuple(
+            e.with_cause("human-candidate" if c == "unclassified" else c)
+            for e, c in zip(events, causes)
+        )

@@ -1,0 +1,77 @@
+"""Diurnality detection by spectral energy (§2.4).
+
+A block is diurnal when a substantial share of the variation in its
+active-address count sits at the 24-hour frequency or its harmonics.
+Work-week gating (five active days, quiet weekends) amplitude-modulates
+the daily cycle and pushes energy into weekly sidebands around each
+harmonic (at ±k/7 cycles/day), so the detector integrates a small window
+around each harmonic rather than a single FFT bin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..timeseries.series import SECONDS_PER_DAY, SECONDS_PER_HOUR, TimeSeries
+from ..timeseries.spectrum import periodogram
+
+__all__ = ["DiurnalTest", "DiurnalVerdict"]
+
+
+@dataclass(frozen=True)
+class DiurnalVerdict:
+    """Outcome of the diurnality test for one block."""
+
+    is_diurnal: bool
+    energy_ratio: float
+    n_days: float
+
+
+@dataclass(frozen=True)
+class DiurnalTest:
+    """FFT-based diurnality detector.
+
+    Parameters
+    ----------
+    min_ratio:
+        Minimum fraction of non-DC power at the diurnal harmonics.
+    harmonics:
+        Number of harmonics of 1 cycle/day to include (24 h, 12 h, ...).
+    sideband_days:
+        Half-width of the integration window around each harmonic, in
+        weekly-sideband units: the window spans ``±sideband_days / 7``
+        cycles/day to capture work-week modulation.
+    min_days:
+        Blocks observed for less than this many days cannot be judged.
+    """
+
+    min_ratio: float = 0.30
+    harmonics: int = 4
+    sideband_days: float = 1.5
+    min_days: float = 3.0
+
+    def evaluate(self, counts: TimeSeries) -> DiurnalVerdict:
+        """Judge a (round- or hour-sampled) active-count series."""
+        hourly = counts.resample_mean(SECONDS_PER_HOUR)
+        good = np.isfinite(hourly.values)
+        n_days = float(good.sum()) / 24.0
+        if n_days < self.min_days:
+            return DiurnalVerdict(False, 0.0, n_days)
+
+        pg = periodogram(hourly.values, SECONDS_PER_HOUR)
+        total = pg.total_power
+        if total <= 0:
+            return DiurnalVerdict(False, 0.0, n_days)
+
+        df = pg.frequencies[1] - pg.frequencies[0]
+        halfwidth_hz = (self.sideband_days / 7.0) / SECONDS_PER_DAY
+        tolerance_bins = max(1, int(round(halfwidth_hz / df)))
+        base = 1.0 / SECONDS_PER_DAY
+        energy = sum(
+            pg.power_near(base * k, tolerance_bins=tolerance_bins)
+            for k in range(1, self.harmonics + 1)
+        )
+        ratio = min(energy / total, 1.0)
+        return DiurnalVerdict(ratio >= self.min_ratio, ratio, n_days)

@@ -1,0 +1,145 @@
+"""Outage detection on reconstructed counts (the §2.6 cross-check).
+
+The paper filters paired down/up CUSUM changes as outages and notes that
+"we can filter out such events by comparing them with outage detections"
+— Trinocular's own output.  This module provides that comparator: a
+simple outage detector over the reconstructed count series (activity
+collapses to near zero relative to its recent baseline, then recovers),
+plus the corroboration helper that re-labels CUSUM change events that
+overlap a detected outage.
+
+This is deliberately simpler than full Trinocular Bayesian inference:
+the pipeline only needs outage *intervals* to cross-check change causes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..timeseries.series import SECONDS_PER_DAY, TimeSeries
+from .changes import ChangeEvent
+
+__all__ = ["OutageInterval", "OutageDetector", "corroborate_changes"]
+
+
+@dataclass(frozen=True)
+class OutageInterval:
+    """One detected outage: activity collapsed below the floor."""
+
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def overlaps(self, start_s: float, end_s: float, slack_s: float = 0.0) -> bool:
+        return self.start_s - slack_s <= end_s and start_s <= self.end_s + slack_s
+
+
+@dataclass(frozen=True)
+class OutageDetector:
+    """Detects collapses of the active count relative to a rolling baseline.
+
+    A sample is *out* when the count falls below ``floor_fraction`` of the
+    trailing ``baseline_days`` median (and the baseline itself is at least
+    ``min_baseline`` addresses, so dark blocks are not all-outage).
+    Consecutive out-samples merge into intervals; intervals shorter than
+    ``min_duration_s`` are noise and dropped, and intervals that never
+    recover before the series ends are kept (open-ended outages).
+    """
+
+    floor_fraction: float = 0.15
+    baseline_days: float = 3.0
+    min_baseline: float = 2.0
+    min_duration_s: float = 1_320.0  # two probing rounds
+    max_duration_s: float = 5 * SECONDS_PER_DAY  # longer = not an "outage"
+
+    def detect(self, counts: TimeSeries) -> tuple[OutageInterval, ...]:
+        """Find outage intervals in a reconstructed count series."""
+        good = np.isfinite(counts.values)
+        if good.sum() < 4:
+            return ()
+        times = counts.times[good]
+        values = counts.values[good]
+
+        baseline = self._trailing_median(times, values)
+        out = (values < self.floor_fraction * baseline) & (
+            baseline >= self.min_baseline
+        )
+        intervals: list[tuple[OutageInterval, float, bool]] = []
+        start: float | None = None
+        start_baseline = 0.0
+        for i, (t, is_out) in enumerate(zip(times, out)):
+            if is_out and start is None:
+                start = float(t)
+                start_baseline = float(baseline[i])
+            elif not is_out and start is not None:
+                intervals.append((OutageInterval(start, float(t)), start_baseline, False))
+                start = None
+        if start is not None:
+            intervals.append(
+                (OutageInterval(start, float(times[-1])), start_baseline, True)
+            )
+
+        kept: list[OutageInterval] = []
+        for interval, pre_level, open_ended in intervals:
+            if not self.min_duration_s <= interval.duration_s <= self.max_duration_s:
+                continue
+            if not open_ended and not self._recovers(
+                times, values, interval.end_s, pre_level
+            ):
+                # activity never came back: a shutdown/migration, not an
+                # outage (the paper's outage filter needs the paired
+                # recovery; permanent changes are the signal, not noise)
+                continue
+            kept.append(interval)
+        return tuple(kept)
+
+    def _recovers(
+        self, times: np.ndarray, values: np.ndarray, end_s: float, pre_level: float
+    ) -> bool:
+        """Did the count return to near its pre-outage level afterwards?"""
+        after = values[(times >= end_s) & (times < end_s + SECONDS_PER_DAY)]
+        if after.size == 0:
+            return True  # nothing to judge; give the interval the benefit
+        return float(np.median(after)) >= 0.5 * pre_level
+
+    def _trailing_median(self, times: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Median of the trailing window, excluding the current sample."""
+        window_s = self.baseline_days * SECONDS_PER_DAY
+        starts = np.searchsorted(times, times - window_s, side="left")
+        baseline = np.empty_like(values)
+        for i in range(values.size):
+            lo = int(starts[i])
+            segment = values[lo:i]
+            baseline[i] = np.median(segment) if segment.size else values[0]
+        return baseline
+
+
+def corroborate_changes(
+    events: tuple[ChangeEvent, ...],
+    outages: tuple[OutageInterval, ...],
+    *,
+    slack_s: float = SECONDS_PER_DAY,
+) -> tuple[ChangeEvent, ...]:
+    """Re-label change events that coincide with detected outages.
+
+    A human-candidate change whose onset-to-ending span overlaps a
+    detected outage (within ``slack_s``) is re-labelled
+    ``"outage-confirmed"`` — the paper's §2.6 comparison against outage
+    detections.  Other events pass through unchanged.
+    """
+    if not outages:
+        return events
+    out: list[ChangeEvent] = []
+    for event in events:
+        if event.cause in ("human-candidate", "outage-like") and any(
+            iv.overlaps(event.start_s, event.end_s, slack_s) for iv in outages
+        ):
+            out.append(event.with_cause("outage-confirmed"))
+        else:
+            out.append(event)
+    return tuple(out)

@@ -1,0 +1,74 @@
+"""Change-sensitive block classification (§2.4, Table 2's funnel).
+
+A block is *change-sensitive* when it is (1) responsive, (2) diurnal and
+(3) shows a persistent wide daily swing.  Such blocks reflect human daily
+schedules strongly enough that the *disappearance* of the pattern is
+detectable — the paper's precondition for inferring human-activity
+changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..timeseries.series import TimeSeries
+from .diurnal import DiurnalTest, DiurnalVerdict
+from .swing import SwingProfile, SwingTest
+
+__all__ = ["BlockClassification", "SensitivityClassifier"]
+
+
+@dataclass(frozen=True)
+class BlockClassification:
+    """The funnel position of one block (Table 2 rows)."""
+
+    responsive: bool
+    diurnal: DiurnalVerdict | None
+    swing: SwingProfile | None
+
+    @property
+    def is_diurnal(self) -> bool:
+        return self.diurnal is not None and self.diurnal.is_diurnal
+
+    @property
+    def is_wide_swing(self) -> bool:
+        return self.swing is not None and self.swing.is_wide
+
+    @property
+    def is_change_sensitive(self) -> bool:
+        return self.responsive and self.is_diurnal and self.is_wide_swing
+
+    @property
+    def funnel_row(self) -> str:
+        """The finest Table 2 category this block lands in."""
+        if not self.responsive:
+            return "not responsive"
+        if self.is_change_sensitive:
+            return "change-sensitive"
+        return "not change-sensitive"
+
+
+@dataclass(frozen=True)
+class SensitivityClassifier:
+    """Combines the diurnality and swing tests (§2.4)."""
+
+    diurnal_test: DiurnalTest = field(default_factory=DiurnalTest)
+    swing_test: SwingTest = field(default_factory=SwingTest)
+
+    def classify(self, counts: TimeSeries) -> BlockClassification:
+        """Classify a reconstructed active-count series.
+
+        A block with no finite, positive sample is non-responsive (it
+        never answered or was never fully reconstructed).
+        """
+        finite = counts.values[np.isfinite(counts.values)]
+        responsive = finite.size > 0 and bool((finite > 0).any())
+        if not responsive:
+            return BlockClassification(responsive=False, diurnal=None, swing=None)
+        return BlockClassification(
+            responsive=True,
+            diurnal=self.diurnal_test.evaluate(counts),
+            swing=self.swing_test.evaluate(counts),
+        )

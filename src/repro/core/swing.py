@@ -1,0 +1,81 @@
+"""Daily-swing analysis: wide, persistent daily swings (§2.4).
+
+The daily swing is the range (max - min) of the active-address count
+over a midnight-to-midnight UTC day.  A block qualifies as *wide swing*
+when the swing reaches ``min_swing`` addresses (the paper picks 5 to
+tolerate a few uncorrelated restarts) on at least ``min_wide_days`` of 7
+consecutive days for at least one week in the observation period (4-of-7
+tolerates three-day weekends such as the MLK week in Figure 1a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..timeseries.series import TimeSeries
+
+__all__ = ["SwingProfile", "SwingTest"]
+
+
+@dataclass(frozen=True)
+class SwingProfile:
+    """Per-day swing summary for one block."""
+
+    days: np.ndarray  # UTC day indices with data
+    swings: np.ndarray  # max - min per day
+    wide_days: np.ndarray  # bool per day
+    is_wide: bool  # passed the persistent-wide-swing test
+    max_swing: float
+
+    @property
+    def n_days(self) -> int:
+        return int(self.days.size)
+
+
+@dataclass(frozen=True)
+class SwingTest:
+    """Wide-swing classifier with the paper's defaults."""
+
+    min_swing: float = 5.0
+    window_days: int = 7
+    min_wide_days: int = 4
+
+    def evaluate(self, counts: TimeSeries) -> SwingProfile:
+        """Judge a round-sampled active-count series."""
+        days, swings = counts.daily_swing()
+        if days.size == 0:
+            return SwingProfile(
+                days=days,
+                swings=swings,
+                wide_days=np.array([], dtype=bool),
+                is_wide=False,
+                max_swing=float("nan"),
+            )
+        wide = swings >= self.min_swing
+
+        # place wide flags on a dense day axis so calendar gaps count as
+        # non-wide days inside the sliding window
+        first, last = int(days[0]), int(days[-1])
+        dense = np.zeros(last - first + 1, dtype=np.int64)
+        dense[days - first] = wide.astype(np.int64)
+
+        persistent = False
+        if dense.size >= self.window_days:
+            window_sums = np.convolve(dense, np.ones(self.window_days, dtype=np.int64), "valid")
+            persistent = bool((window_sums >= self.min_wide_days).any())
+        else:
+            # shorter observations: accept if the rate would satisfy 4-of-7
+            persistent = dense.sum() >= min(self.min_wide_days, dense.size) and dense.sum() > 0
+            persistent = persistent and (dense.sum() / dense.size) >= (
+                self.min_wide_days / self.window_days
+            )
+
+        return SwingProfile(
+            days=days,
+            swings=swings,
+            wide_days=wide,
+            is_wide=persistent,
+            max_swing=float(swings.max()),
+        )

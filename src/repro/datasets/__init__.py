@@ -1,0 +1,17 @@
+"""Named datasets (paper Table 6) and the simulation/analysis builder."""
+
+from .builder import DatasetBuilder, DatasetResult, FunnelCounts
+from .catalog import CATALOG, TRINOCULAR_SITES, DatasetSpec, dataset
+from .targets import TargetList, TargetListManager
+
+__all__ = [
+    "DatasetBuilder",
+    "DatasetResult",
+    "FunnelCounts",
+    "CATALOG",
+    "TRINOCULAR_SITES",
+    "DatasetSpec",
+    "dataset",
+    "TargetList",
+    "TargetListManager",
+]

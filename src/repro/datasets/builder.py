@@ -1,0 +1,291 @@
+"""Streaming dataset builder: simulate, observe, analyze, tabulate.
+
+The builder glues the substrate to the pipeline: for each block of a
+:class:`~repro.net.world.WorldModel` it generates ground truth, runs the
+requested observers over a dataset window (with per-path loss models),
+and hands the probe logs to a :class:`~repro.core.pipeline.BlockPipeline`.
+
+Observations are cached per (block, observer) and *sliced* for narrower
+windows — mirroring the paper, which reuses one measurement stream for
+every analysis window (quarters, months, halves).  The cache is small
+(a few blocks) because experiments stream block-by-block.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.pipeline import BlockAnalysis, BlockPipeline
+from ..core.aggregate import BlockRecord
+from ..net.bayesian import BayesianTrinocularObserver
+from ..net.observations import ObservationSeries
+from ..net.prober import AdditionalProber, TrinocularObserver, probe_order
+from ..net.survey import SurveyObserver
+from ..net.usage import ROUND_SECONDS, BlockTruth
+from ..net.world import BlockSpec, WorldModel
+from .catalog import TRINOCULAR_SITES, DatasetSpec, dataset
+
+__all__ = ["DatasetBuilder", "DatasetResult", "FunnelCounts"]
+
+
+@dataclass(frozen=True)
+class FunnelCounts:
+    """Table 2's per-dataset filtering funnel."""
+
+    routed: int = 0
+    not_responsive: int = 0
+    responsive: int = 0
+    not_diurnal: int = 0
+    diurnal: int = 0
+    narrow_swing: int = 0
+    wide_swing: int = 0
+    not_change_sensitive: int = 0
+    change_sensitive: int = 0
+
+    @property
+    def change_sensitive_fraction(self) -> float:
+        """Share of responsive blocks that are change-sensitive."""
+        return self.change_sensitive / self.responsive if self.responsive else 0.0
+
+    def rows(self) -> list[tuple[str, int]]:
+        """(label, count) rows in Table 2 order."""
+        return [
+            ("routed blocks", self.routed),
+            ("not responsive", self.not_responsive),
+            ("responsive", self.responsive),
+            ("not diurnal", self.not_diurnal),
+            ("diurnal", self.diurnal),
+            ("narrow swing", self.narrow_swing),
+            ("wide swing", self.wide_swing),
+            ("not change-sensitive", self.not_change_sensitive),
+            ("change-sensitive", self.change_sensitive),
+        ]
+
+
+@dataclass
+class DatasetResult:
+    """All per-block analyses for one dataset window."""
+
+    spec: DatasetSpec
+    world: WorldModel
+    analyses: dict[str, BlockAnalysis] = field(default_factory=dict)  # key: cidr
+    block_specs: dict[str, BlockSpec] = field(default_factory=dict)
+
+    def funnel(self) -> FunnelCounts:
+        routed = len(self.analyses)
+        responsive = diurnal = wide = cs = 0
+        for analysis in self.analyses.values():
+            c = analysis.classification
+            if not c.responsive:
+                continue
+            responsive += 1
+            diurnal += int(c.is_diurnal)
+            wide += int(c.is_wide_swing)
+            cs += int(c.is_change_sensitive)
+        return FunnelCounts(
+            routed=routed,
+            not_responsive=routed - responsive,
+            responsive=responsive,
+            not_diurnal=responsive - diurnal,
+            diurnal=diurnal,
+            narrow_swing=responsive - wide,
+            wide_swing=wide,
+            not_change_sensitive=responsive - cs,
+            change_sensitive=cs,
+        )
+
+    def records(self) -> list[BlockRecord]:
+        """Aggregation records (geolocation + change days) per block."""
+        out: list[BlockRecord] = []
+        for cidr, analysis in self.analyses.items():
+            spec = self.block_specs[cidr]
+            out.append(
+                BlockRecord(
+                    geo=spec.geo,
+                    responsive=analysis.classification.responsive,
+                    change_sensitive=analysis.is_change_sensitive,
+                    downward_days=analysis.downward_change_days(),
+                    upward_days=analysis.upward_change_days(),
+                )
+            )
+        return out
+
+    def change_sensitive(self) -> list[str]:
+        return [c for c, a in self.analyses.items() if a.is_change_sensitive]
+
+
+class DatasetBuilder:
+    """Simulates observers over a world and runs the analysis pipeline."""
+
+    def __init__(
+        self,
+        world: WorldModel,
+        pipeline: BlockPipeline | None = None,
+        *,
+        observer_style: str = "adaptive",
+        cache_blocks: int = 4,
+    ) -> None:
+        """``observer_style`` picks the probing algorithm: "adaptive" is
+        the paper's stop-at-first-positive description; "bayesian" is the
+        full belief-driven Trinocular of [71] (see repro.net.bayesian)."""
+        self.world = world
+        self.pipeline = pipeline or BlockPipeline()
+        if observer_style == "adaptive":
+            observer_cls = TrinocularObserver
+        elif observer_style == "bayesian":
+            observer_cls = BayesianTrinocularObserver
+        else:
+            raise ValueError(f"unknown observer_style: {observer_style!r}")
+        self.observer_style = observer_style
+        self.observers = {
+            name: observer_cls(name, phase_offset_s=phase)
+            for name, phase in TRINOCULAR_SITES.items()
+        }
+        self.additional = AdditionalProber(name="a", phase_offset_s=601.0)
+        self.survey = SurveyObserver(name="survey", phase_offset_s=0.0)
+        self._cache_blocks = cache_blocks
+        self._obs_cache: OrderedDict[tuple[str, str], tuple[float, float, ObservationSeries]] = (
+            OrderedDict()
+        )
+        self._truth_cache: OrderedDict[str, tuple[float, BlockTruth]] = OrderedDict()
+
+    # -- simulation -------------------------------------------------------
+    def truth(self, spec: BlockSpec, start_s: float, duration_s: float) -> BlockTruth:
+        """Ground truth covering at least ``[0, start+duration)``, cached."""
+        end = start_s + duration_s
+        cached = self._truth_cache.get(spec.block.cidr)
+        if cached is not None and cached[0] >= end:
+            return cached[1]
+        truth = self.world.truth(spec, end)
+        self._truth_cache[spec.block.cidr] = (end, truth)
+        while len(self._truth_cache) > self._cache_blocks:
+            self._truth_cache.popitem(last=False)
+        return truth
+
+    def observe(
+        self, spec: BlockSpec, observer: str, start_s: float, duration_s: float
+    ) -> ObservationSeries:
+        """One observer's probe log for a window (cached + sliced)."""
+        key = (spec.block.cidr, observer)
+        end_s = start_s + duration_s
+        cached = self._obs_cache.get(key)
+        if cached is not None and cached[0] <= start_s and cached[1] >= end_s:
+            return cached[2].slice_time(start_s, end_s)
+
+        sim_start = start_s if cached is None else min(cached[0], start_s)
+        sim_end = end_s if cached is None else max(cached[1], end_s)
+        series = self._simulate(spec, observer, sim_start, sim_end - sim_start)
+        self._obs_cache[key] = (sim_start, sim_end, series)
+        while len(self._obs_cache) > self._cache_blocks * 8:
+            self._obs_cache.popitem(last=False)
+        return series.slice_time(start_s, end_s)
+
+    def _simulate(
+        self, spec: BlockSpec, observer: str, start_s: float, duration_s: float
+    ) -> ObservationSeries:
+        truth = self.truth(spec, start_s, duration_s)
+        order = probe_order(truth.n_addresses, spec.seed)
+        rng = np.random.default_rng([spec.seed, 0xC, _observer_stream(observer)])
+        loss = self.world.loss_model(spec, observer)
+        if observer == "survey":
+            return self.survey.observe(
+                truth, None, loss, rng, start_s=start_s, duration_s=duration_s
+            )
+        if observer == "a":
+            return self.additional.observe(
+                truth, order, loss, rng, start_s=start_s, duration_s=duration_s
+            )
+        prober = self.observers[observer]
+        # each observer starts its cursor at an independent position
+        cursor = int(np.random.default_rng([spec.seed, 0xD, _observer_stream(observer)]).integers(truth.n_addresses))
+        return prober.observe(
+            truth,
+            order,
+            loss,
+            rng,
+            start_s=start_s,
+            duration_s=duration_s,
+            start_cursor=cursor,
+        )
+
+    def observe_dataset(
+        self, spec: BlockSpec, ds: DatasetSpec | str
+    ) -> list[ObservationSeries]:
+        """All of a dataset's observer logs for one block."""
+        ds = dataset(ds) if isinstance(ds, str) else ds
+        start = ds.start_s(self.world.epoch)
+        return [self.observe(spec, obs, start, ds.duration_s) for obs in ds.observers]
+
+    # -- analysis -----------------------------------------------------------
+    def analyze_block(
+        self,
+        spec: BlockSpec,
+        ds: DatasetSpec | str,
+        pipeline: BlockPipeline | None = None,
+    ) -> BlockAnalysis:
+        """Run the pipeline on one block for one dataset window."""
+        ds = dataset(ds) if isinstance(ds, str) else ds
+        pipeline = pipeline or self.pipeline
+        logs = self.observe_dataset(spec, ds)
+        truth = self.truth(spec, ds.start_s(self.world.epoch), ds.duration_s)
+        start = ds.start_s(self.world.epoch)
+        grid = start + np.arange(int(ds.duration_s / ROUND_SECONDS)) * ROUND_SECONDS
+        return pipeline.analyze(logs, truth.addresses, sample_times=grid)
+
+    def analyze(
+        self,
+        ds: DatasetSpec | str,
+        *,
+        blocks: list[BlockSpec] | None = None,
+        pipeline: BlockPipeline | None = None,
+    ) -> DatasetResult:
+        """Analyze a whole dataset (all world blocks unless given)."""
+        ds = dataset(ds) if isinstance(ds, str) else ds
+        blocks = list(self.world.blocks) if blocks is None else blocks
+        result = DatasetResult(spec=ds, world=self.world)
+        for spec in blocks:
+            if not spec.responsive_by_design:
+                # firewalled blocks never answer: short-circuit the sim
+                result.analyses[spec.block.cidr] = _unresponsive_analysis()
+                result.block_specs[spec.block.cidr] = spec
+                continue
+            result.analyses[spec.block.cidr] = self.analyze_block(spec, ds, pipeline)
+            result.block_specs[spec.block.cidr] = spec
+        return result
+
+    # -- block statistics ----------------------------------------------------
+    def availability(self, spec: BlockSpec, start_s: float, duration_s: float) -> float:
+        """Long-run availability A: mean activity over E(b) and time (§3.2.3)."""
+        truth = self.truth(spec, start_s, duration_s)
+        lo = truth.column_of(start_s)
+        hi = truth.column_of(start_s + duration_s - 1.0) + 1
+        window = truth.active[:, lo:hi]
+        return float(window.mean()) if window.size else 0.0
+
+
+def _observer_stream(observer: str) -> int:
+    """Stable small integer per observer name for seeding."""
+    return sum(ord(ch) << (8 * i) for i, ch in enumerate(observer[:4]))
+
+
+def _unresponsive_analysis() -> BlockAnalysis:
+    """A constant analysis object for blocks that never answer probes."""
+    from ..core.reconstruction import Reconstruction
+    from ..core.sensitivity import BlockClassification
+    from ..timeseries.series import TimeSeries
+
+    empty = TimeSeries(np.array([]), np.array([]))
+    return BlockAnalysis(
+        reconstruction=Reconstruction(
+            counts=empty,
+            complete_time_s=float("nan"),
+            eb_size=0,
+            observed_addresses=np.array([], dtype=np.int16),
+        ),
+        classification=BlockClassification(responsive=False, diurnal=None, swing=None),
+        trend=None,
+        changes=None,
+    )

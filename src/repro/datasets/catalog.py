@@ -1,0 +1,105 @@
+"""Dataset catalogue mirroring the paper's Table 6.
+
+A :class:`DatasetSpec` names an observation window and the observers that
+contribute — ``2020q1-w`` is one site for twelve weeks, ``2020m1-ejnw``
+four sites for four weeks, ``2020it89-w`` the two-week full survey.  The
+specs carry dates; the builder resolves them against a world's epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, datetime, timezone
+
+__all__ = ["DatasetSpec", "CATALOG", "dataset", "TRINOCULAR_SITES"]
+
+#: the six Trinocular sites and their (arbitrary but fixed) round phases
+TRINOCULAR_SITES: dict[str, float] = {
+    "c": 41.0,  # Colorado (hardware problems in 2020)
+    "e": 137.0,  # Washington, DC
+    "g": 233.0,  # Greece (hardware problems in 2020)
+    "j": 347.0,  # Tokyo
+    "n": 449.0,  # Netherlands
+    "w": 551.0,  # Los Angeles
+}
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One named dataset: an observation window and a set of observers."""
+
+    name: str
+    start: date
+    weeks: float
+    observers: tuple[str, ...]
+    survey: bool = False  # complete scans of every address (it89-style)
+
+    @property
+    def duration_s(self) -> float:
+        return self.weeks * 7 * 86_400.0
+
+    @property
+    def duration_days(self) -> float:
+        return self.weeks * 7
+
+    def start_s(self, epoch: datetime) -> float:
+        """Window start in seconds since a world epoch (UTC midnight)."""
+        if epoch.tzinfo is None:
+            epoch = epoch.replace(tzinfo=timezone.utc)
+        start_dt = datetime(
+            self.start.year, self.start.month, self.start.day, tzinfo=timezone.utc
+        )
+        return (start_dt - epoch).total_seconds()
+
+    def end_s(self, epoch: datetime) -> float:
+        return self.start_s(epoch) + self.duration_s
+
+
+def _quarter(name: str, start: date, observers: str, weeks: float = 12) -> DatasetSpec:
+    return DatasetSpec(name=name, start=start, weeks=weeks, observers=tuple(observers))
+
+
+CATALOG: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        # single-observer quarters (Table 6)
+        _quarter("2019q4-w", date(2019, 10, 1), "w"),
+        _quarter("2020q1-e", date(2020, 1, 1), "e"),
+        _quarter("2020q1-j", date(2020, 1, 1), "j"),
+        _quarter("2020q1-n", date(2020, 1, 1), "n"),
+        _quarter("2020q1-w", date(2020, 1, 1), "w"),
+        _quarter("2020q2-e", date(2020, 4, 1), "e"),
+        _quarter("2020q2-j", date(2020, 4, 1), "j"),
+        _quarter("2020q2-n", date(2020, 4, 1), "n"),
+        _quarter("2020q2-w", date(2020, 4, 1), "w"),
+        # multi-observer combinations used throughout §3
+        _quarter("2020q1-jw", date(2020, 1, 1), "jw"),
+        _quarter("2020q1-jnw", date(2020, 1, 1), "jnw"),
+        _quarter("2020q1-ejnw", date(2020, 1, 1), "ejnw"),
+        _quarter("2020q2-ejnw", date(2020, 4, 1), "ejnw"),
+        # months and halves
+        _quarter("2020m1-w", date(2020, 1, 1), "w", weeks=4),
+        _quarter("2020m1-ejnw", date(2020, 1, 1), "ejnw", weeks=4),
+        _quarter("2020h1-w", date(2020, 1, 1), "w", weeks=26),
+        _quarter("2020h1-ejnw", date(2020, 1, 1), "ejnw", weeks=26),
+        # the ground-truth survey and its 4-site reconstruction twin
+        DatasetSpec(
+            name="2020it89-w", start=date(2020, 2, 19), weeks=2, observers=("survey",), survey=True
+        ),
+        _quarter("2020it89-match-ejnw", date(2020, 2, 19), "ejnw", weeks=2),
+        # 2023 control quarters (Appendix B.3/B.4; relative to the 2023 world)
+        _quarter("2023q1-ejnw", date(2023, 1, 1), "ejnw"),
+        _quarter("2023q1-w", date(2023, 1, 1), "w"),
+        _quarter("2023q2-cenw", date(2023, 4, 1), "cenw"),
+    )
+}
+
+
+def dataset(name: str) -> DatasetSpec:
+    """Look a dataset up by its Table 6-style abbreviation."""
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; known: {', '.join(sorted(CATALOG))}"
+        ) from None

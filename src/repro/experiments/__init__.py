@@ -1,0 +1,66 @@
+"""One experiment module per paper table/figure (see DESIGN.md §4).
+
+Each module exposes ``run(...) -> <Result>`` returning a dataclass with
+``shape_checks()`` (the reproduction assertions), ``format_report`` for a
+plain-text rendering, and ``main()`` so it can run standalone via
+``python -m repro.experiments.<name>`` or the ``repro`` CLI.
+"""
+
+from . import (
+    ablation_repair,
+    ablation_trend,
+    additional_probing,
+    appendix_e,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12_13,
+    fig14,
+    fig15,
+    locations,
+    network_types,
+    retraining,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+#: experiment name -> module, for the CLI
+REGISTRY = {
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "fig1": fig1,
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12_13": fig12_13,
+    "fig14": fig14,
+    "fig15": fig15,
+    "locations": locations,
+    "additional-probing": additional_probing,
+    "ablation-trend": ablation_trend,
+    "ablation-repair": ablation_repair,
+    "network-types": network_types,
+    "retraining": retraining,
+    "appendix-e": appendix_e,
+}
+
+__all__ = ["REGISTRY"]

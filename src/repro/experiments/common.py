@@ -1,0 +1,191 @@
+"""Shared infrastructure for the per-table/figure experiments.
+
+Experiments share worlds and expensive analysis campaigns through the
+memoized factories here.  Scale is controlled by ``n_blocks``; the
+defaults are laptop-sized (the paper analyses 5.2M blocks, we report
+fractions and shapes at 10^2-10^3 block scale — see DESIGN.md §2).
+
+The *campaign* implements the paper's §3.4 protocol for the real-world
+results: change-sensitive blocks are identified on 2020m1-ejnw (January,
+pre-Covid baseline), then changes are detected over all of 2020h1-ejnw
+for exactly those blocks.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from dataclasses import dataclass
+from datetime import date, timedelta
+
+import numpy as np
+
+from ..core.aggregate import BlockRecord, GridAggregator
+from ..core.pipeline import BlockAnalysis, BlockPipeline
+from ..datasets.builder import DatasetBuilder, DatasetResult
+from ..datasets.catalog import dataset
+from ..net.world import WorldModel, scenario_baseline2023, scenario_covid2020
+
+__all__ = [
+    "Campaign",
+    "bench_scale",
+    "control_campaign",
+    "covid_campaign",
+    "covid_world",
+    "control_world",
+    "fmt_table",
+    "sparkline",
+    "top_peaks",
+]
+
+
+def bench_scale(default: int = 400) -> int:
+    """World size for experiments, overridable via REPRO_SCALE."""
+    return int(os.environ.get("REPRO_SCALE", default))
+
+
+@functools.lru_cache(maxsize=4)
+def covid_world(n_blocks: int = 400, seed: int = 20, diurnal_boost: float = 1.0) -> WorldModel:
+    """The early-2020 world (memoized per scale/seed)."""
+    return WorldModel(
+        scenario_covid2020(), n_blocks=n_blocks, seed=seed, diurnal_boost=diurnal_boost
+    )
+
+
+@functools.lru_cache(maxsize=4)
+def control_world(n_blocks: int = 400, seed: int = 23, diurnal_boost: float = 1.0) -> WorldModel:
+    """The 2023 control world (Spring Festival, no Covid)."""
+    return WorldModel(
+        scenario_baseline2023(), n_blocks=n_blocks, seed=seed, diurnal_boost=diurnal_boost
+    )
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A §3.4-style analysis campaign over one world.
+
+    ``baseline`` is the dataset that defines change-sensitivity;
+    ``analysis_window`` is the dataset over which changes are detected
+    for those blocks.  ``records`` feed the :class:`GridAggregator`.
+    """
+
+    world: WorldModel
+    baseline: DatasetResult
+    records: tuple[BlockRecord, ...]
+    analyses: dict[str, BlockAnalysis]
+    first_day: int
+    n_days: int
+
+    def aggregator(
+        self, *, min_responsive: int = 5, min_change_sensitive: int = 5
+    ) -> GridAggregator:
+        agg = GridAggregator(
+            min_responsive=min_responsive, min_change_sensitive=min_change_sensitive
+        )
+        return agg.add_all(list(self.records))
+
+    def day_of(self, when: date) -> int:
+        """UTC day index (since the world epoch) of a calendar date."""
+        return (when - self.world.epoch.date()).days
+
+    def date_of(self, day: int) -> date:
+        return self.world.epoch.date() + timedelta(days=int(day))
+
+
+def _run_campaign(world: WorldModel, baseline_name: str, window_name: str) -> Campaign:
+    builder = DatasetBuilder(world)
+    baseline = builder.analyze(baseline_name)
+    cs_set = set(baseline.change_sensitive())
+    window = dataset(window_name)
+    start = window.start_s(world.epoch)
+    first_day = int(start // 86_400)
+    n_days = int(window.duration_days)
+
+    detect_pipeline = BlockPipeline(detect_on_all=True)
+    records: list[BlockRecord] = []
+    analyses: dict[str, BlockAnalysis] = {}
+    for spec in world.blocks:
+        cidr = spec.block.cidr
+        base = baseline.analyses.get(cidr)
+        responsive = base is not None and base.classification.responsive
+        if cidr in cs_set and responsive:
+            analysis = builder.analyze_block(spec, window, detect_pipeline)
+            analyses[cidr] = analysis
+            records.append(
+                BlockRecord(
+                    geo=spec.geo,
+                    responsive=True,
+                    change_sensitive=True,
+                    downward_days=analysis.downward_change_days(),
+                    upward_days=analysis.upward_change_days(),
+                )
+            )
+        else:
+            records.append(
+                BlockRecord(
+                    geo=spec.geo,
+                    responsive=responsive,
+                    change_sensitive=False,
+                )
+            )
+    return Campaign(
+        world=world,
+        baseline=baseline,
+        records=tuple(records),
+        analyses=analyses,
+        first_day=first_day,
+        n_days=n_days,
+    )
+
+
+@functools.lru_cache(maxsize=2)
+def covid_campaign(n_blocks: int | None = None, seed: int = 20) -> Campaign:
+    """Baseline on 2020m1-ejnw, change detection over 2020h1-ejnw."""
+    n = bench_scale(1600) if n_blocks is None else n_blocks
+    world = covid_world(n, seed, diurnal_boost=3.0)
+    return _run_campaign(world, "2020m1-ejnw", "2020h1-ejnw")
+
+
+@functools.lru_cache(maxsize=2)
+def control_campaign(n_blocks: int | None = None, seed: int = 23) -> Campaign:
+    """The 2023q1 control campaign (Appendix B.3/B.4)."""
+    n = bench_scale(1600) if n_blocks is None else n_blocks
+    world = control_world(n, seed, diurnal_boost=3.0)
+    return _run_campaign(world, "2023q1-ejnw", "2023q1-ejnw")
+
+
+# ---------------------------------------------------------------------------
+# plain-text reporting helpers (no matplotlib offline)
+# ---------------------------------------------------------------------------
+def fmt_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+_SPARK = " .:-=+*#%@"
+
+
+def sparkline(values: np.ndarray) -> str:
+    """A coarse character sparkline for daily series."""
+    v = np.asarray(values, dtype=np.float64)
+    if v.size == 0:
+        return ""
+    hi = np.nanmax(v)
+    if not np.isfinite(hi) or hi <= 0:
+        return " " * v.size
+    idx = np.clip((v / hi * (len(_SPARK) - 1)).astype(int), 0, len(_SPARK) - 1)
+    return "".join(_SPARK[i] for i in idx)
+
+
+def top_peaks(values: np.ndarray, k: int = 3) -> list[tuple[int, float]]:
+    """The k largest (index, value) entries of a daily series."""
+    v = np.asarray(values, dtype=np.float64)
+    order = np.argsort(v)[::-1][:k]
+    return [(int(i), float(v[i])) for i in order]

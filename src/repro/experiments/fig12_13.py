@@ -1,0 +1,95 @@
+"""Figures 12 & 13 / Appendix B.3-B.4: the 2023q1 control quarter.
+
+Runs the Figure 9/10 analysis on the 2023 world, which has Spring
+Festival but no Covid events.  Expected shapes: Beijing still peaks near
+the 2023-01-22 Spring Festival (Figure 12); New Delhi shows no
+distinguishable peak (Figure 13) — confirming the 2020 Indian changes
+were not seasonal artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+import numpy as np
+
+from ..net.geo import GridCell
+from .common import Campaign, control_campaign, fmt_table, sparkline, top_peaks
+
+__all__ = ["Fig1213Result", "run"]
+
+BEIJING_CELL = GridCell(38, 116)
+DELHI_CELL = GridCell(28, 76)
+SPRING_FESTIVAL_2023 = date(2023, 1, 22)
+
+
+@dataclass(frozen=True)
+class Fig1213Result:
+    beijing_cs: int
+    beijing_down: np.ndarray
+    delhi_cs: int
+    delhi_down: np.ndarray
+    campaign: Campaign
+
+    def beijing_peak(self) -> tuple[date, float]:
+        if self.beijing_down.size == 0 or self.beijing_down.max() <= 0:
+            return self.campaign.date_of(self.campaign.first_day), 0.0
+        idx, val = top_peaks(self.beijing_down, 1)[0]
+        return self.campaign.date_of(self.campaign.first_day + idx), val
+
+    def shape_checks(self) -> dict[str, bool]:
+        peak_day, peak_val = self.beijing_peak()
+        delhi_max = float(self.delhi_down.max()) if self.delhi_down.size else 0.0
+        return {
+            "Beijing peaks near the 2023 Spring Festival": (
+                peak_val > 0
+                and date(2023, 1, 15) <= peak_day <= date(2023, 2, 10)
+            ),
+            "Delhi shows no comparable peak": delhi_max <= max(peak_val * 0.6, 0.02)
+            or delhi_max < peak_val,
+        }
+
+
+def run(campaign: Campaign | None = None) -> Fig1213Result:
+    campaign = campaign or control_campaign()
+    agg = campaign.aggregator()
+    b_stats = agg.cell(BEIJING_CELL)
+    d_stats = agg.cell(DELHI_CELL)
+    b_down, _ = agg.cell_daily_fractions(BEIJING_CELL, campaign.first_day, campaign.n_days)
+    d_down, _ = agg.cell_daily_fractions(DELHI_CELL, campaign.first_day, campaign.n_days)
+    return Fig1213Result(
+        beijing_cs=0 if b_stats is None else b_stats.n_change_sensitive,
+        beijing_down=b_down,
+        delhi_cs=0 if d_stats is None else d_stats.n_change_sensitive,
+        delhi_down=d_down,
+        campaign=campaign,
+    )
+
+
+def format_report(result: Fig1213Result) -> str:
+    peak_day, peak_val = result.beijing_peak()
+    delhi_max = float(result.delhi_down.max()) if result.delhi_down.size else 0.0
+    rows = [
+        ["Beijing", result.beijing_cs, str(peak_day), f"{peak_val:.1%}"],
+        ["New Delhi", result.delhi_cs, "-", f"{delhi_max:.1%}"],
+    ]
+    out = [
+        "Figures 12/13: 2023q1 control (Spring Festival 2023-01-22, no Covid)",
+        fmt_table(["city", "CS blocks", "peak day", "peak fraction"], rows),
+        "",
+        f"Beijing |{sparkline(result.beijing_down)}|",
+        f"Delhi   |{sparkline(result.delhi_down)}|",
+        "",
+    ]
+    for check, ok in result.shape_checks().items():
+        out.append(f"  [{'ok' if ok else 'FAIL'}] {check}")
+    return "\n".join(out)
+
+
+def main() -> None:
+    print(format_report(run()))
+
+
+if __name__ == "__main__":
+    main()

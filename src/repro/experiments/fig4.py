@@ -1,0 +1,127 @@
+"""Figure 4 / Appendix C: reconstruction vs ground truth for two blocks.
+
+An easy block (moderately used workplace, fast scans) reconstructs with
+high correlation; a hard block (dense dynamic pool, long scans) shows
+the low-pass effect of adaptive probing — flattened peaks, raised
+valleys, lower correlation.  The paper reports r = 0.89 vs r = 0.40.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+
+import numpy as np
+
+from ..core.reconstruction import reconstruct
+from ..net.events import Calendar
+from ..net.observations import merge_observations
+from ..net.prober import TrinocularObserver, probe_order
+from ..net.usage import DynamicPoolUsage, WorkplaceUsage, round_grid
+from ..timeseries.series import SECONDS_PER_HOUR, TimeSeries
+from .common import fmt_table
+
+__all__ = ["Fig4Result", "run"]
+
+DURATION_DAYS = 14
+EPOCH = datetime(2020, 2, 19)
+
+
+@dataclass(frozen=True)
+class BlockComparison:
+    name: str
+    eb_size: int
+    correlation: float
+    truth_peak: float
+    recon_peak: float
+
+    @property
+    def peak_shortfall(self) -> float:
+        """Relative underestimate of the peak (adaptive probing lag)."""
+        if self.truth_peak <= 0:
+            return float("nan")
+        return 1.0 - self.recon_peak / self.truth_peak
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    easy: BlockComparison
+    hard: BlockComparison
+
+    def shape_checks(self) -> dict[str, bool]:
+        return {
+            "easy block correlates strongly (r >= 0.7)": self.easy.correlation >= 0.7,
+            "hard block correlates worse than easy": self.hard.correlation
+            < self.easy.correlation,
+            "hard block still carries signal (r > 0)": self.hard.correlation > 0.0,
+            "reconstruction underestimates the peak": self.easy.peak_shortfall >= 0.0,
+        }
+
+
+def _compare(name: str, usage, seed: int) -> BlockComparison:
+    calendar = Calendar(epoch=EPOCH, tz_hours=0.0)
+    rng = np.random.default_rng(seed)
+    truth = usage.generate(rng, round_grid(DURATION_DAYS * 86_400.0), calendar)
+    order = probe_order(truth.n_addresses, seed)
+    logs = [
+        TrinocularObserver(obs, phase_offset_s=131.0 * (i + 1)).observe(
+            truth, order, rng=np.random.default_rng([seed, i])
+        )
+        for i, obs in enumerate("ejnw")
+    ]
+    recon = reconstruct(merge_observations(logs), truth.addresses, truth.col_times)
+
+    truth_series = TimeSeries(truth.col_times, truth.counts()).resample_mean(SECONDS_PER_HOUR)
+    recon_series = recon.counts.resample_mean(SECONDS_PER_HOUR)
+    r = truth_series.pearson(recon_series)
+    good = ~np.isnan(recon_series.values)
+    return BlockComparison(
+        name=name,
+        eb_size=truth.n_addresses,
+        correlation=r,
+        truth_peak=float(np.nanmax(truth_series.values)),
+        recon_peak=float(np.nanmax(recon_series.values[good])) if good.any() else float("nan"),
+    )
+
+
+def run(seed: int = 27) -> Fig4Result:
+    easy = _compare(
+        "easy (sparse workplace, |E(b)|~76)",
+        WorkplaceUsage(n_desktops=60, n_servers=2, stale_addresses=14),
+        seed,
+    )
+    hard = _compare(
+        "hard (dense pool, |E(b)|~226)",
+        DynamicPoolUsage(pool_size=220, peak=0.65, trough=0.1, stale_addresses=6),
+        seed + 1,
+    )
+    return Fig4Result(easy=easy, hard=hard)
+
+
+def format_report(result: Fig4Result) -> str:
+    rows = [
+        [
+            b.name,
+            b.eb_size,
+            f"{b.correlation:.2f}",
+            f"{b.truth_peak:.0f}",
+            f"{b.recon_peak:.0f}",
+        ]
+        for b in (result.easy, result.hard)
+    ]
+    out = [
+        "Figure 4: reconstruction vs ground truth (paper: r=0.89 easy, r=0.40 hard)",
+        fmt_table(["block", "|E(b)|", "Pearson r", "truth peak", "recon peak"], rows),
+        "",
+    ]
+    for check, ok in result.shape_checks().items():
+        out.append(f"  [{'ok' if ok else 'FAIL'}] {check}")
+    return "\n".join(out)
+
+
+def main() -> None:
+    print(format_report(run()))
+
+
+if __name__ == "__main__":
+    main()

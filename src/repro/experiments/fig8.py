@@ -1,0 +1,111 @@
+"""Figure 8: human-activity changes for 2020h1 by continent.
+
+Daily fraction of change-sensitive blocks with a downward trend, per
+continent, over the first half of 2020.  Expected shapes, matching the
+paper's annotations:
+
+(i)   Asia peaks in late January (Spring Festival + Wuhan lockdown);
+(ii)  Europe/Africa/the Americas peak in mid-to-late March (Covid WFH);
+(iii) Oceania's fractions stay comparatively low.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+import numpy as np
+
+from .common import Campaign, covid_campaign, fmt_table, sparkline, top_peaks
+
+__all__ = ["Fig8Result", "run"]
+
+CONTINENTS = ("Asia", "Europe", "North America", "South America", "Africa", "Oceania")
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    first_day: int
+    n_days: int
+    series: dict[str, np.ndarray]
+    campaign: Campaign
+
+    def peak_date(self, continent: str) -> tuple[date, float]:
+        values = self.series.get(continent)
+        if values is None or values.size == 0:
+            return self.campaign.date_of(self.first_day), 0.0
+        idx, val = top_peaks(values, 1)[0]
+        return self.campaign.date_of(self.first_day + idx), val
+
+    def peak_in_window(self, continent: str, lo: date, hi: date) -> float:
+        """Largest daily fraction within [lo, hi]."""
+        values = self.series.get(continent)
+        if values is None:
+            return 0.0
+        lo_i = max(self.campaign.day_of(lo) - self.first_day, 0)
+        hi_i = min(self.campaign.day_of(hi) - self.first_day + 1, values.size)
+        if lo_i >= hi_i:
+            return 0.0
+        return float(values[lo_i:hi_i].max())
+
+    def shape_checks(self) -> dict[str, bool]:
+        asia_jan = self.peak_in_window("Asia", date(2020, 1, 18), date(2020, 2, 5))
+        asia_rest = self.peak_in_window("Asia", date(2020, 4, 20), date(2020, 6, 20))
+        eu_mar = self.peak_in_window("Europe", date(2020, 3, 8), date(2020, 3, 31))
+        na_mar = self.peak_in_window("North America", date(2020, 3, 8), date(2020, 3, 31))
+        checks = {
+            "(i) Asia shows a late-January peak": asia_jan > 0
+            and asia_jan >= asia_rest,
+            "(ii) Europe peaks in March": eu_mar > 0,
+            "(ii) North America peaks in March": na_mar > 0,
+        }
+        oceania = self.series.get("Oceania")
+        if oceania is not None and oceania.size:
+            asia = self.series.get("Asia")
+            checks["(iii) Oceania stays below Asia's peak"] = float(
+                oceania.max()
+            ) <= (float(asia.max()) if asia is not None else 1.0) + 1e-9
+        return checks
+
+
+def run(campaign: Campaign | None = None) -> Fig8Result:
+    campaign = campaign or covid_campaign()
+    agg = campaign.aggregator()
+    series = agg.continent_daily_fractions(
+        campaign.first_day, campaign.n_days, represented_only=False
+    )
+    return Fig8Result(
+        first_day=campaign.first_day,
+        n_days=campaign.n_days,
+        series=series,
+        campaign=campaign,
+    )
+
+
+def format_report(result: Fig8Result) -> str:
+    rows = []
+    for continent in CONTINENTS:
+        if continent not in result.series:
+            continue
+        peak_date, peak_val = result.peak_date(continent)
+        rows.append([continent, str(peak_date), f"{peak_val:.1%}"])
+    out = [
+        "Figure 8: daily downward-trend fraction by continent, 2020h1",
+        fmt_table(["continent", "peak day", "peak fraction"], rows),
+        "",
+    ]
+    for continent in CONTINENTS:
+        if continent in result.series:
+            out.append(f"{continent:>14s} |{sparkline(result.series[continent])}|")
+    out.append("")
+    for check, ok in result.shape_checks().items():
+        out.append(f"  [{'ok' if ok else 'FAIL'}] {check}")
+    return "\n".join(out)
+
+
+def main() -> None:
+    print(format_report(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,169 @@
+"""§3.7: validation by location — the UAE and Slovenia gridcells.
+
+For each of the paper's two randomly selected gridcells — (24N, 54E)
+around Abu Dhabi and (46N, 14E) around Ljubljana — sample up to 25
+change-sensitive blocks, compare CUSUM detections to the country's WFH
+date, and verify that the detection peak concentrates on the true WFH
+period.  Expected shapes: high precision (paper: 100% at both), a
+detection peak within days of the WFH date, and a peak day clearly
+above the typical day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+import numpy as np
+
+from ..net.events import WorkFromHome
+from ..net.geo import GridCell
+from .common import Campaign, covid_campaign, fmt_table
+
+__all__ = ["LocationResult", "LocationsResult", "run", "UAE_CELL", "SLOVENIA_CELL"]
+
+UAE_CELL = GridCell(24, 54)
+SLOVENIA_CELL = GridCell(46, 14)
+TOLERANCE_DAYS = 4
+
+
+@dataclass(frozen=True)
+class LocationResult:
+    cell: GridCell
+    country: str
+    wfh_date: date
+    n_blocks_examined: int
+    n_detected_near: int  # blocks with a downward change near the WFH date
+    n_true_positive: int  # ...that truly followed WFH (ground truth)
+    n_changed_in_truth: int  # blocks whose ground truth really changed
+    peak_fraction: float
+    median_fraction: float
+
+    @property
+    def precision(self) -> float:
+        if self.n_detected_near == 0:
+            return float("nan")
+        return self.n_true_positive / self.n_detected_near
+
+    @property
+    def recall(self) -> float:
+        if self.n_changed_in_truth == 0:
+            return float("nan")
+        return self.n_true_positive / self.n_changed_in_truth
+
+
+@dataclass(frozen=True)
+class LocationsResult:
+    locations: tuple[LocationResult, ...]
+
+    def shape_checks(self) -> dict[str, bool]:
+        checks: dict[str, bool] = {}
+        for loc in self.locations:
+            tag = loc.country
+            checks[f"{tag}: blocks examined"] = loc.n_blocks_examined > 0
+            if loc.n_detected_near:
+                checks[f"{tag}: precision is high (>= 80%)"] = loc.precision >= 0.8
+            checks[f"{tag}: WFH-period peak dominates typical days"] = (
+                loc.peak_fraction > 2 * max(loc.median_fraction, 1e-9)
+                or loc.peak_fraction > 0.1
+            )
+        return checks
+
+
+def _examine(campaign: Campaign, cell: GridCell, country: str, sample: int = 25) -> LocationResult:
+    wfh_date = campaign.world.scenario.wfh_dates[country]
+    wfh_day = campaign.day_of(wfh_date)
+
+    cell_blocks = [
+        (cidr, analysis)
+        for cidr, analysis in campaign.analyses.items()
+        if campaign.world.blocks[_index_of(cidr)].geo.gridcell == cell
+    ]
+    rng = np.random.default_rng(hash(country) & 0xFFFF)
+    if len(cell_blocks) > sample:
+        picked = rng.permutation(len(cell_blocks))[:sample]
+        cell_blocks = [cell_blocks[i] for i in picked]
+
+    detected_near = true_pos = truth_changed = 0
+    for cidr, analysis in cell_blocks:
+        spec = campaign.world.blocks[_index_of(cidr)]
+        followed = any(isinstance(e, WorkFromHome) for e in spec.events)
+        truth_changed += int(followed)
+        near = [
+            e
+            for e in (analysis.changes.human_candidates if analysis.changes else ())
+            if e.is_downward and abs(e.day - wfh_day) <= TOLERANCE_DAYS
+        ]
+        if near:
+            detected_near += 1
+            true_pos += int(followed)
+
+    agg = campaign.aggregator()
+    down, _ = agg.cell_daily_fractions(cell, campaign.first_day, campaign.n_days)
+    lo = max(wfh_day - TOLERANCE_DAYS - campaign.first_day, 0)
+    hi = min(wfh_day + TOLERANCE_DAYS + 1 - campaign.first_day, down.size)
+    peak = float(down[lo:hi].max()) if lo < hi else 0.0
+    median = float(np.median(down)) if down.size else 0.0
+    return LocationResult(
+        cell=cell,
+        country=country,
+        wfh_date=wfh_date,
+        n_blocks_examined=len(cell_blocks),
+        n_detected_near=detected_near,
+        n_true_positive=true_pos,
+        n_changed_in_truth=truth_changed,
+        peak_fraction=peak,
+        median_fraction=median,
+    )
+
+
+def _index_of(cidr: str) -> int:
+    """Block index from its CIDR (WorldModel assigns index+1 << 8)."""
+    from ..net.addresses import BlockAddress
+
+    return BlockAddress.from_cidr(cidr).index - 1
+
+
+def run(campaign: Campaign | None = None) -> LocationsResult:
+    campaign = campaign or covid_campaign()
+    return LocationsResult(
+        locations=(
+            _examine(campaign, UAE_CELL, "United Arab Emirates"),
+            _examine(campaign, SLOVENIA_CELL, "Slovenia"),
+        )
+    )
+
+
+def format_report(result: LocationsResult) -> str:
+    rows = [
+        [
+            loc.country,
+            str(loc.cell),
+            str(loc.wfh_date),
+            loc.n_blocks_examined,
+            loc.n_detected_near,
+            f"{loc.precision:.0%}" if loc.n_detected_near else "-",
+            f"{loc.recall:.0%}" if loc.n_changed_in_truth else "-",
+            f"{loc.peak_fraction:.1%}",
+        ]
+        for loc in result.locations
+    ]
+    out = [
+        "S3.7: validation by location (paper: precision 100%, recall 73%/77%)",
+        fmt_table(
+            ["country", "cell", "WFH date", "blocks", "detected", "precision", "recall", "peak"],
+            rows,
+        ),
+        "",
+    ]
+    for check, ok in result.shape_checks().items():
+        out.append(f"  [{'ok' if ok else 'FAIL'}] {check}")
+    return "\n".join(out)
+
+
+def main() -> None:
+    print(format_report(run()))
+
+
+if __name__ == "__main__":
+    main()

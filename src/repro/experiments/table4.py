@@ -1,0 +1,90 @@
+"""Table 4: geographic coverage of human-activity change detection.
+
+Aggregates the campaign's blocks into 2x2-degree gridcells and reports
+the observed/represented cell counts with block-weighted coverage.  The
+paper's headline shapes: ~60% of observed cells are represented, but
+those cells hold nearly all blocks (99.7% of change-sensitive, 98.5% of
+ping-responsive blocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.aggregate import CoverageReport
+from .common import Campaign, covid_campaign, fmt_table
+
+__all__ = ["Table4Result", "run"]
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    coverage: CoverageReport
+    n_blocks: int
+
+    def shape_checks(self) -> dict[str, bool]:
+        """Scale-robust versions of the paper's coverage claims.
+
+        At 5.2M-block scale the paper gets 60% of cells covering 98.5% of
+        blocks; the reproducible *shape* at any scale is concentration:
+        block-weighted coverage far exceeds cell-weighted coverage.
+        """
+        c = self.coverage
+        cell_frac = c.n_represented / max(c.n_cells, 1)
+        return {
+            "some cells are represented": c.n_represented > 0,
+            "cell coverage is partial (some cells unrepresented)": (
+                c.n_represented < c.n_cells
+            ),
+            "CS blocks concentrate in represented cells": (
+                c.cs_block_weighted_coverage > cell_frac
+            ),
+            "responsive blocks concentrate in represented cells": (
+                c.responsive_block_weighted_coverage > cell_frac
+            ),
+            "represented cells hold a large share of CS blocks (>= 40%)": (
+                c.cs_block_weighted_coverage >= 0.40
+            ),
+        }
+
+
+def run(campaign: Campaign | None = None) -> Table4Result:
+    campaign = campaign or covid_campaign()
+    coverage = campaign.aggregator().coverage()
+    return Table4Result(coverage=coverage, n_blocks=len(campaign.records))
+
+
+def format_report(result: Table4Result) -> str:
+    c = result.coverage
+    rows = [
+        ["all cells (any responsive block)", c.n_cells, "", ""],
+        ["under-observed (<5 responsive)", c.n_under_observed, "", ""],
+        ["observed (>=5 responsive)", c.n_observed, "", c.responsive_blocks_observed],
+        ["under-represented (<5 CS)", c.n_under_represented, "", ""],
+        [
+            "represented (>=5 CS)",
+            c.n_represented,
+            c.cs_blocks_represented,
+            c.responsive_blocks_represented,
+        ],
+    ]
+    out = [
+        f"Table 4: geographic coverage ({result.n_blocks} blocks)",
+        fmt_table(["category", "gridcells", "CS blocks", "responsive blocks"], rows),
+        "",
+        f"represented / observed cells: {c.represented_cell_fraction:.0%} (paper: 60%)",
+        f"CS-block-weighted coverage:   {c.cs_block_weighted_coverage:.1%} (paper: 99.7%)",
+        f"responsive-block-weighted:    {c.responsive_block_weighted_coverage:.1%} (paper: 98.5%)",
+        "",
+    ]
+    for check, ok in result.shape_checks().items():
+        out.append(f"  [{'ok' if ok else 'FAIL'}] {check}")
+    return "\n".join(out)
+
+
+def main() -> None:
+    print(format_report(run()))
+
+
+if __name__ == "__main__":
+    main()

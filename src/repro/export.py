@@ -1,0 +1,145 @@
+"""Result export: sharing detections like the paper's website (§2.9).
+
+The paper publishes detections through a pan-and-zoom map and
+downloadable datasets.  This module writes the equivalent artifacts from
+an analysis campaign:
+
+* ``gridcell_csv`` — per-gridcell, per-day downward/upward fractions
+  (the series behind Figures 8-10);
+* ``gridcell_geojson`` — a GeoJSON FeatureCollection of gridcells with
+  change-sensitive counts (the Figure 7 map);
+* ``blocks_csv`` — per-block classification and change days.
+
+All writers take an open text file or a path and stay dependency-free
+(``json`` and manual CSV; no pandas offline).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import IO, Iterable
+
+from .core.aggregate import BlockRecord, GridAggregator
+
+__all__ = ["gridcell_csv", "gridcell_geojson", "blocks_csv"]
+
+
+def _open(destination: str | Path | IO[str]):
+    if hasattr(destination, "write"):
+        return destination, False
+    return open(destination, "w", newline=""), True
+
+
+def gridcell_csv(
+    aggregator: GridAggregator,
+    destination: str | Path | IO[str],
+    *,
+    first_day: int,
+    n_days: int,
+) -> int:
+    """Write per-cell daily fractions; returns the number of rows."""
+    handle, should_close = _open(destination)
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["cell_lat", "cell_lon", "continent", "n_change_sensitive", "day", "down_fraction", "up_fraction"]
+        )
+        rows = 0
+        for cell, stats in sorted(aggregator.cells.items()):
+            if stats.n_change_sensitive == 0:
+                continue
+            down, up = aggregator.cell_daily_fractions(cell, first_day, n_days)
+            for offset in range(n_days):
+                if down[offset] == 0 and up[offset] == 0:
+                    continue
+                writer.writerow(
+                    [
+                        cell.lat,
+                        cell.lon,
+                        stats.continent,
+                        stats.n_change_sensitive,
+                        first_day + offset,
+                        f"{down[offset]:.6f}",
+                        f"{up[offset]:.6f}",
+                    ]
+                )
+                rows += 1
+        return rows
+    finally:
+        if should_close:
+            handle.close()
+
+
+def gridcell_geojson(
+    aggregator: GridAggregator,
+    destination: str | Path | IO[str],
+    *,
+    size_degrees: int = 2,
+) -> int:
+    """Write the Figure 7 map as GeoJSON; returns the feature count."""
+    features = []
+    for cell, stats in sorted(aggregator.cells.items()):
+        if stats.n_change_sensitive == 0:
+            continue
+        lat, lon = cell.lat, cell.lon
+        ring = [
+            [lon, lat],
+            [lon + size_degrees, lat],
+            [lon + size_degrees, lat + size_degrees],
+            [lon, lat + size_degrees],
+            [lon, lat],
+        ]
+        features.append(
+            {
+                "type": "Feature",
+                "geometry": {"type": "Polygon", "coordinates": [ring]},
+                "properties": {
+                    "continent": stats.continent,
+                    "change_sensitive_blocks": stats.n_change_sensitive,
+                    "responsive_blocks": stats.n_responsive,
+                },
+            }
+        )
+    payload = {"type": "FeatureCollection", "features": features}
+    handle, should_close = _open(destination)
+    try:
+        json.dump(payload, handle, indent=1)
+    finally:
+        if should_close:
+            handle.close()
+    return len(features)
+
+
+def blocks_csv(
+    records: Iterable[BlockRecord],
+    destination: str | Path | IO[str],
+) -> int:
+    """Write per-block rows (aggregated geolocation only, like the paper:
+    no per-address data ever leaves the pipeline).  Returns row count."""
+    handle, should_close = _open(destination)
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["lat", "lon", "country", "continent", "responsive", "change_sensitive", "downward_days", "upward_days"]
+        )
+        rows = 0
+        for record in records:
+            writer.writerow(
+                [
+                    f"{record.geo.lat:.3f}",
+                    f"{record.geo.lon:.3f}",
+                    record.geo.country,
+                    record.geo.continent,
+                    int(record.responsive),
+                    int(record.change_sensitive),
+                    " ".join(map(str, record.downward_days)),
+                    " ".join(map(str, record.upward_days)),
+                ]
+            )
+            rows += 1
+        return rows
+    finally:
+        if should_close:
+            handle.close()

@@ -1,0 +1,98 @@
+"""Synthetic-Internet and measurement substrate.
+
+This package stands in for the data sources the paper consumes —
+Trinocular probe logs, USC Internet surveys, Maxmind geolocation and the
+real human events of early 2020 — with generative models that exercise
+the identical analysis code paths (see DESIGN.md §2 for the substitution
+table).
+"""
+
+from .addresses import BLOCK_SIZE, BlockAddress, format_ipv4, parse_ipv4
+from .bayesian import BayesianTrinocularObserver
+from .events import (
+    Calendar,
+    Channel,
+    Curfew,
+    Event,
+    Holiday,
+    Migration,
+    Outage,
+    Renumbering,
+    WorkFromHome,
+)
+from .geo import WORLD_CITIES, City, GeoInfo, GridCell, city_by_name, gridcell_of
+from .loss import BernoulliLoss, DiurnalCongestionLoss, LossModel, NoLoss
+from .observations import ObservationSeries, merge_observations
+from .prober import AdditionalProber, TrinocularObserver, probe_order
+from .survey import SurveyObserver
+from .usage import (
+    ROUND_SECONDS,
+    BlockTruth,
+    DynamicPoolUsage,
+    FirewalledUsage,
+    HomeEveningUsage,
+    NatGatewayUsage,
+    ServerFarmUsage,
+    SparseUsage,
+    UsageModel,
+    WorkplaceUsage,
+    round_grid,
+)
+from .world import (
+    PROFILE_MIXES,
+    BlockSpec,
+    Scenario,
+    WorldModel,
+    scenario_baseline2023,
+    scenario_covid2020,
+)
+
+__all__ = [
+    "BLOCK_SIZE",
+    "BlockAddress",
+    "BayesianTrinocularObserver",
+    "format_ipv4",
+    "parse_ipv4",
+    "Calendar",
+    "Channel",
+    "Curfew",
+    "Event",
+    "Holiday",
+    "Migration",
+    "Outage",
+    "Renumbering",
+    "WorkFromHome",
+    "WORLD_CITIES",
+    "City",
+    "GeoInfo",
+    "GridCell",
+    "city_by_name",
+    "gridcell_of",
+    "BernoulliLoss",
+    "DiurnalCongestionLoss",
+    "LossModel",
+    "NoLoss",
+    "ObservationSeries",
+    "merge_observations",
+    "AdditionalProber",
+    "TrinocularObserver",
+    "probe_order",
+    "SurveyObserver",
+    "ROUND_SECONDS",
+    "BlockTruth",
+    "DynamicPoolUsage",
+    "FirewalledUsage",
+    "HomeEveningUsage",
+    "NatGatewayUsage",
+    "ServerFarmUsage",
+    "SparseUsage",
+    "UsageModel",
+    "WorkplaceUsage",
+    "round_grid",
+    "PROFILE_MIXES",
+    "BlockSpec",
+    "Scenario",
+    "WorldModel",
+    "scenario_baseline2023",
+    "scenario_covid2020",
+]

@@ -1,0 +1,89 @@
+"""IPv4 /24 block and address primitives.
+
+The paper's unit of analysis is the /24 block: 256 adjacent IPv4
+addresses sharing a 24-bit prefix (§2).  Blocks are identified by the
+integer value of their network address; individual addresses within a
+block are referred to by their last octet (0-255).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+BLOCK_SIZE = 256
+
+__all__ = ["BLOCK_SIZE", "BlockAddress", "format_ipv4", "parse_ipv4"]
+
+
+def format_ipv4(value: int) -> str:
+    """Render a 32-bit integer as dotted-quad notation."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"not a 32-bit IPv4 address: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def parse_ipv4(text: str) -> int:
+    """Parse dotted-quad notation to a 32-bit integer."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not a dotted quad: {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+@dataclass(frozen=True, order=True)
+class BlockAddress:
+    """A /24 IPv4 block, identified by its network address.
+
+    >>> blk = BlockAddress.from_cidr("128.9.144.0/24")
+    >>> blk.cidr
+    '128.9.144.0/24'
+    >>> blk.address(17)
+    '128.9.144.17'
+    """
+
+    network: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.network <= 0xFFFFFFFF:
+            raise ValueError(f"not a 32-bit network address: {self.network}")
+        if self.network & 0xFF:
+            raise ValueError(
+                f"/24 network address must end in .0, got {format_ipv4(self.network)}"
+            )
+
+    @classmethod
+    def from_cidr(cls, text: str) -> "BlockAddress":
+        """Parse ``a.b.c.0/24`` notation (the ``/24`` suffix is optional)."""
+        base = text.split("/", 1)[0]
+        if "/" in text and text.rsplit("/", 1)[1] != "24":
+            raise ValueError(f"only /24 blocks are supported: {text!r}")
+        return cls(parse_ipv4(base))
+
+    @classmethod
+    def from_index(cls, index: int) -> "BlockAddress":
+        """Build the ``index``-th /24 block of the address space."""
+        return cls(index << 8)
+
+    @property
+    def cidr(self) -> str:
+        return f"{format_ipv4(self.network)}/24"
+
+    @property
+    def index(self) -> int:
+        """The block's ordinal among all /24s (network >> 8)."""
+        return self.network >> 8
+
+    def address(self, last_octet: int) -> str:
+        """Dotted-quad for the address with the given last octet."""
+        if not 0 <= last_octet < BLOCK_SIZE:
+            raise ValueError(f"last octet out of range: {last_octet}")
+        return format_ipv4(self.network | last_octet)
+
+    def __str__(self) -> str:
+        return self.cidr

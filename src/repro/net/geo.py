@@ -1,0 +1,165 @@
+"""Geolocation substrate: cities, gridcells, continents.
+
+The paper geolocates blocks with Maxmind GeoLite and aggregates to 2x2
+degree gridcells (§2.6).  We replace the proprietary database with a
+synthetic-but-realistic world: a catalogue of real cities with their
+coordinates, timezones and continents, plus a geolocation lookup that adds
+city-scale noise (IP geolocation is city-accurate at best, which is why
+the paper aggregates to 2 degrees in the first place).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "City",
+    "GeoInfo",
+    "GridCell",
+    "WORLD_CITIES",
+    "city_by_name",
+    "gridcell_of",
+]
+
+GRID_DEGREES = 2
+
+
+@dataclass(frozen=True, order=True)
+class GridCell:
+    """A 2x2 degree latitude/longitude gridcell, keyed by its SW corner."""
+
+    lat: int
+    lon: int
+
+    def __str__(self) -> str:
+        ns = "N" if self.lat >= 0 else "S"
+        ew = "E" if self.lon >= 0 else "W"
+        return f"({abs(self.lat)}{ns}, {abs(self.lon)}{ew})"
+
+    def contains(self, lat: float, lon: float) -> bool:
+        return (
+            self.lat <= lat < self.lat + GRID_DEGREES
+            and self.lon <= lon < self.lon + GRID_DEGREES
+        )
+
+
+def gridcell_of(lat: float, lon: float, size: int = GRID_DEGREES) -> GridCell:
+    """Map coordinates to their gridcell (SW corner, multiples of ``size``)."""
+    return GridCell(
+        int(np.floor(lat / size)) * size,
+        int(np.floor(lon / size)) * size,
+    )
+
+
+@dataclass(frozen=True)
+class City:
+    """A population centre blocks can be assigned to.
+
+    ``profile`` names the regional address-use mix (see
+    :mod:`repro.net.world`): e.g. Asian cities carry many dynamically
+    assigned public-IP pools (diurnal), while North American and Western
+    European cities are dominated by always-on NAT routers (paper §3.5).
+    ``weight`` scales how many blocks the world model places there.
+    """
+
+    name: str
+    country: str
+    continent: str
+    lat: float
+    lon: float
+    tz_hours: float
+    weight: float
+    profile: str
+
+    @property
+    def gridcell(self) -> GridCell:
+        return gridcell_of(self.lat, self.lon)
+
+
+@dataclass(frozen=True)
+class GeoInfo:
+    """A geolocation answer for one block (what Maxmind would return)."""
+
+    lat: float
+    lon: float
+    country: str
+    continent: str
+    city: str
+
+    @property
+    def gridcell(self) -> GridCell:
+        return gridcell_of(self.lat, self.lon)
+
+
+# ---------------------------------------------------------------------------
+# City catalogue.  Weights approximate the relative density of
+# change-sensitive blocks in the paper's Figure 7: heavy in East/South Asia,
+# moderate in Europe/NA, light in South America/Africa/Oceania; Morocco is
+# over-represented (paper §4.1).  Profiles drive the address-use mix.
+# ---------------------------------------------------------------------------
+WORLD_CITIES: tuple[City, ...] = (
+    # East Asia: dynamic public-IP pools dominate -> many diurnal blocks
+    City("Wuhan", "China", "Asia", 30.6, 114.3, 8.0, 10.0, "asia_dynamic"),
+    City("Beijing", "China", "Asia", 39.9, 116.4, 8.0, 12.0, "asia_dynamic"),
+    City("Shanghai", "China", "Asia", 31.2, 121.5, 8.0, 9.0, "asia_dynamic"),
+    City("Guangzhou", "China", "Asia", 23.1, 113.3, 8.0, 6.0, "asia_dynamic"),
+    City("Chengdu", "China", "Asia", 30.7, 104.1, 8.0, 4.0, "asia_dynamic"),
+    City("Tokyo", "Japan", "Asia", 35.7, 139.7, 9.0, 5.0, "mixed"),
+    City("Seoul", "South Korea", "Asia", 37.6, 127.0, 9.0, 4.0, "asia_dynamic"),
+    City("Taipei", "Taiwan", "Asia", 25.0, 121.6, 8.0, 3.0, "asia_dynamic"),
+    City("Hong Kong", "Hong Kong SAR", "Asia", 22.3, 114.2, 8.0, 3.0, "mixed"),
+    # South / Southeast Asia
+    City("New Delhi", "India", "Asia", 28.6, 77.2, 5.5, 10.0, "asia_dynamic"),
+    City("Mumbai", "India", "Asia", 19.1, 72.9, 5.5, 4.0, "asia_dynamic"),
+    City("Manila", "Philippines", "Asia", 14.6, 121.0, 8.0, 3.0, "asia_dynamic"),
+    City("Kuala Lumpur", "Malaysia", "Asia", 3.1, 101.7, 8.0, 3.0, "asia_dynamic"),
+    City("Singapore", "Singapore", "Asia", 1.35, 103.8, 8.0, 2.0, "mixed"),
+    City("Bangkok", "Thailand", "Asia", 13.8, 100.5, 7.0, 3.0, "asia_dynamic"),
+    # Middle East
+    City("Abu Dhabi", "United Arab Emirates", "Asia", 24.5, 54.4, 4.0, 6.0, "asia_dynamic"),
+    City("Tehran", "Iran", "Asia", 35.7, 51.4, 3.5, 2.0, "asia_dynamic"),
+    # Eastern Europe / Russia: dynamic IPs common
+    City("Moscow", "Russia", "Europe", 55.8, 37.6, 3.0, 5.0, "asia_dynamic"),
+    City("Kyiv", "Ukraine", "Europe", 50.5, 30.5, 2.0, 2.5, "asia_dynamic"),
+    City("Warsaw", "Poland", "Europe", 52.2, 21.0, 1.0, 2.5, "mixed"),
+    City("Bucharest", "Romania", "Europe", 44.4, 26.1, 2.0, 2.0, "asia_dynamic"),
+    # Western / Central Europe: NAT heavy, universities diurnal
+    City("Ljubljana", "Slovenia", "Europe", 46.1, 14.5, 1.0, 7.0, "asia_dynamic"),
+    City("London", "United Kingdom", "Europe", 51.5, -0.1, 0.0, 3.0, "nat_heavy"),
+    City("Paris", "France", "Europe", 48.9, 2.35, 1.0, 3.0, "nat_heavy"),
+    City("Berlin", "Germany", "Europe", 52.5, 13.4, 1.0, 3.0, "nat_heavy"),
+    City("Madrid", "Spain", "Europe", 40.4, -3.7, 1.0, 2.5, "nat_heavy"),
+    City("Rome", "Italy", "Europe", 41.9, 12.5, 1.0, 2.5, "nat_heavy"),
+    City("Amsterdam", "Netherlands", "Europe", 52.4, 4.9, 1.0, 2.0, "nat_heavy"),
+    # North America: NAT heavy, universities/workplaces diurnal
+    City("Los Angeles", "United States", "North America", 34.05, -118.25, -8.0, 3.0, "nat_heavy"),
+    City("New York", "United States", "North America", 40.7, -74.0, -5.0, 3.0, "nat_heavy"),
+    City("Chicago", "United States", "North America", 41.9, -87.6, -6.0, 2.0, "nat_heavy"),
+    City("Bloomington", "United States", "North America", 39.2, -86.5, -5.0, 1.0, "university"),
+    City("Toronto", "Canada", "North America", 43.7, -79.4, -5.0, 2.0, "nat_heavy"),
+    City("Mexico City", "Mexico", "North America", 19.4, -99.1, -6.0, 2.0, "mixed"),
+    # South America
+    City("Sao Paulo", "Brazil", "South America", -23.55, -46.6, -3.0, 2.5, "mixed"),
+    City("Buenos Aires", "Argentina", "South America", -34.6, -58.4, -3.0, 2.0, "mixed"),
+    City("Bogota", "Colombia", "South America", 4.7, -74.1, -5.0, 1.5, "mixed"),
+    City("Caracas", "Venezuela", "South America", 10.5, -66.9, -4.0, 1.0, "mixed"),
+    # Africa: Morocco over-represented as in the paper
+    City("Casablanca", "Morocco", "Africa", 33.6, -7.6, 0.0, 5.0, "asia_dynamic"),
+    City("Rabat", "Morocco", "Africa", 34.0, -6.8, 0.0, 1.5, "asia_dynamic"),
+    City("Cairo", "Egypt", "Africa", 30.0, 31.2, 2.0, 1.5, "mixed"),
+    City("Lagos", "Nigeria", "Africa", 6.5, 3.4, 1.0, 1.0, "mixed"),
+    City("Johannesburg", "South Africa", "Africa", -26.2, 28.0, 2.0, 1.0, "mixed"),
+    # Oceania
+    City("Sydney", "Australia", "Oceania", -33.9, 151.2, 10.0, 1.5, "nat_heavy"),
+    City("Melbourne", "Australia", "Oceania", -37.8, 145.0, 10.0, 1.0, "nat_heavy"),
+    City("Auckland", "New Zealand", "Oceania", -36.8, 174.8, 12.0, 0.5, "nat_heavy"),
+)
+
+_CITY_INDEX = {city.name: city for city in WORLD_CITIES}
+
+
+def city_by_name(name: str) -> City:
+    """Look a catalogue city up by name (KeyError if unknown)."""
+    return _CITY_INDEX[name]

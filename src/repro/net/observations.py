@@ -1,0 +1,139 @@
+"""Probe-observation containers and merging.
+
+An :class:`ObservationSeries` is the output of one observer watching one
+block: parallel arrays of probe time, target address (last octet), and
+result (reply / no reply).  Multi-observer analysis merges several series
+into one time-ordered stream (§2.7); 1-loss repair and reconstruction
+both operate on these containers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ObservationSeries", "merge_observations"]
+
+
+@dataclass(frozen=True)
+class ObservationSeries:
+    """Time-ordered probe results for one block.
+
+    ``times`` are seconds since the dataset epoch, non-decreasing.
+    ``observer`` names the source site ("e", "j", "n", "w", ... or
+    "merged"); ``sources`` preserves per-probe origin after a merge.
+    """
+
+    times: np.ndarray  # float64 [n]
+    addresses: np.ndarray  # int16 [n] last octets
+    results: np.ndarray  # bool  [n]
+    observer: str = "?"
+    sources: np.ndarray | None = None  # uint8 index into source_names
+    source_names: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.times, dtype=np.float64)
+        addresses = np.asarray(self.addresses, dtype=np.int16)
+        results = np.asarray(self.results, dtype=bool)
+        if not (times.shape == addresses.shape == results.shape) or times.ndim != 1:
+            raise ValueError("times, addresses and results must be equal-length 1-d arrays")
+        if times.size > 1 and np.any(np.diff(times) < 0):
+            raise ValueError("observation times must be non-decreasing")
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "addresses", addresses)
+        object.__setattr__(self, "results", results)
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.times.size == 0
+
+    def reply_rate(self) -> float:
+        """Fraction of probes answered (the §3.3 diagnostic)."""
+        if self.is_empty:
+            return float("nan")
+        return float(self.results.mean())
+
+    def reply_rate_by_address(self) -> dict[int, float]:
+        """Per-address reply rates."""
+        rates: dict[int, float] = {}
+        for addr in np.unique(self.addresses):
+            mask = self.addresses == addr
+            rates[int(addr)] = float(self.results[mask].mean())
+        return rates
+
+    def probed_addresses(self) -> np.ndarray:
+        """Sorted unique last octets ever probed."""
+        return np.unique(self.addresses)
+
+    def address_view(self, address: int) -> tuple[np.ndarray, np.ndarray]:
+        """(times, results) of every probe of one address, in time order."""
+        mask = self.addresses == address
+        return self.times[mask], self.results[mask]
+
+    def with_results(self, results: np.ndarray) -> "ObservationSeries":
+        """Same probes with replaced results (used by 1-loss repair)."""
+        return ObservationSeries(
+            times=self.times,
+            addresses=self.addresses,
+            results=results,
+            observer=self.observer,
+            sources=self.sources,
+            source_names=self.source_names,
+        )
+
+    def slice_time(self, start: float, stop: float) -> "ObservationSeries":
+        """Probes with ``start <= time < stop`` (dataset windowing)."""
+        lo = int(np.searchsorted(self.times, start, side="left"))
+        hi = int(np.searchsorted(self.times, stop, side="left"))
+        return ObservationSeries(
+            times=self.times[lo:hi],
+            addresses=self.addresses[lo:hi],
+            results=self.results[lo:hi],
+            observer=self.observer,
+            sources=None if self.sources is None else self.sources[lo:hi],
+            source_names=self.source_names,
+        )
+
+
+def merge_observations(series: list[ObservationSeries]) -> ObservationSeries:
+    """Merge observers into one time-ordered stream (§2.7).
+
+    Observers run unsynchronized, so a stable merge by time interleaves
+    their rounds; per-probe provenance is kept in ``sources`` so per-site
+    diagnostics (reply rates, §3.3) survive the merge.
+    """
+    series = [s for s in series if not s.is_empty]
+    if not series:
+        return ObservationSeries(
+            times=np.array([]), addresses=np.array([], dtype=np.int16), results=np.array([], dtype=bool), observer="merged"
+        )
+    if len(series) == 1:
+        only = series[0]
+        return ObservationSeries(
+            times=only.times,
+            addresses=only.addresses,
+            results=only.results,
+            observer="merged",
+            sources=np.zeros(len(only), dtype=np.uint8),
+            source_names=(only.observer,),
+        )
+    names = tuple(s.observer for s in series)
+    times = np.concatenate([s.times for s in series])
+    addresses = np.concatenate([s.addresses for s in series])
+    results = np.concatenate([s.results for s in series])
+    sources = np.concatenate(
+        [np.full(len(s), i, dtype=np.uint8) for i, s in enumerate(series)]
+    )
+    order = np.argsort(times, kind="stable")
+    return ObservationSeries(
+        times=times[order],
+        addresses=addresses[order],
+        results=results[order],
+        observer="merged",
+        sources=sources[order],
+        source_names=names,
+    )

@@ -1,0 +1,40 @@
+"""Time-series substrate: containers, LOESS/STL, spectra, CUSUM.
+
+Everything here is independent of the networking layers; it is the
+from-scratch replacement for the statsmodels/detecta functionality the
+paper relied on (offline environment: neither package is available).
+"""
+
+from .detect import CusumAlarm, CusumResult, detect_cusum
+from .loess import loess_smooth, tricube
+from .naive import naive_decompose
+from .series import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    TimeSeries,
+    day_index,
+    second_of_day,
+    utc_datetime,
+)
+from .spectrum import Periodogram, diurnal_energy_ratio, periodogram
+from .stl import STLResult, stl_decompose
+
+__all__ = [
+    "CusumAlarm",
+    "CusumResult",
+    "detect_cusum",
+    "loess_smooth",
+    "tricube",
+    "naive_decompose",
+    "SECONDS_PER_DAY",
+    "SECONDS_PER_HOUR",
+    "TimeSeries",
+    "day_index",
+    "second_of_day",
+    "utc_datetime",
+    "Periodogram",
+    "diurnal_energy_ratio",
+    "periodogram",
+    "STLResult",
+    "stl_decompose",
+]

@@ -1,0 +1,214 @@
+"""LOESS (locally weighted regression) smoothing.
+
+This is the smoother underlying STL (Cleveland et al., 1990).  We implement
+local linear regression with the tricube kernel and optional robustness
+weights, on arbitrary (not necessarily regular) abscissae.
+
+Only the pieces STL needs are implemented: degree 0 or 1 local fits, a
+nearest-``q`` neighbourhood bandwidth, and evaluation either at the input
+points or at arbitrary query points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["loess_smooth", "tricube"]
+
+
+def tricube(u: np.ndarray) -> np.ndarray:
+    """Tricube kernel ``(1 - |u|^3)^3`` clipped outside ``|u| < 1``."""
+    a = np.clip(np.abs(u), 0.0, 1.0)
+    return (1.0 - a**3) ** 3
+
+
+def _neighbourhood(x: np.ndarray, x0: float, q: int) -> tuple[np.ndarray, float]:
+    """Indices of the ``q`` nearest points to ``x0`` and the max distance.
+
+    When ``q`` exceeds the number of points, all points are used and the
+    bandwidth is inflated as in the original STL implementation so that the
+    fit degrades gracefully toward a global regression.
+    """
+    n = x.size
+    dist = np.abs(x - x0)
+    if q >= n:
+        h = dist.max() * (q / max(n, 1))
+        return np.arange(n), max(h, 1e-12)
+    # q nearest points via partial sort
+    idx = np.argpartition(dist, q - 1)[:q]
+    h = dist[idx].max()
+    return idx, max(h, 1e-12)
+
+
+def _sorted_window(x: np.ndarray, x0: float, q: int) -> tuple[int, int, float]:
+    """Contiguous window of the ``q`` nearest points in a sorted array.
+
+    Returns ``(lo, hi, bandwidth)`` with the window ``x[lo:hi]``.  For
+    sorted abscissae the nearest-``q`` neighbourhood is always contiguous,
+    which makes LOESS O(n*q) instead of O(n^2).
+    """
+    n = x.size
+    if q >= n:
+        h = max(abs(x0 - x[0]), abs(x[-1] - x0)) * (q / max(n, 1))
+        return 0, n, max(h, 1e-12)
+    pos = int(np.searchsorted(x, x0))
+    lo = max(pos - q, 0)
+    hi = min(pos + q, n)
+    window = x[lo:hi]
+    dist = np.abs(window - x0)
+    keep = np.argpartition(dist, q - 1)[:q]
+    w_lo = lo + int(keep.min())
+    w_hi = lo + int(keep.max()) + 1
+    h = float(dist[keep].max())
+    return w_lo, w_hi, max(h, 1e-12)
+
+
+def _loess_uniform(
+    x: np.ndarray,
+    y: np.ndarray,
+    q: int,
+    *,
+    degree: int,
+    xout: np.ndarray,
+    robustness_weights: np.ndarray,
+) -> np.ndarray | None:
+    """Vectorized LOESS for a uniform grid evaluated at its own points.
+
+    On a uniform grid the nearest-``q`` neighbourhood of point ``i`` is the
+    centered window clipped at the edges, and every window shares one
+    offset pattern, so the whole fit reduces to sliding-window matrix
+    arithmetic.  Returns ``None`` when the fast path does not apply.
+    """
+    n = x.size
+    if n < 3 or q >= n or xout is not x and (
+        xout.size != n or not np.array_equal(xout, x)
+    ):
+        return None
+    dx = x[1] - x[0]
+    if dx <= 0 or not np.allclose(np.diff(x), dx, rtol=1e-9, atol=0):
+        return None
+
+    idx = np.arange(n)
+    starts = np.clip(idx - (q - 1) // 2, 0, n - q)
+    offsets = idx - starts  # position of the query point within its window
+    rel = np.arange(q)[None, :] - offsets[:, None]  # window offsets in grid units
+    h = np.maximum(np.abs(rel).max(axis=1), 1)[:, None].astype(np.float64)
+    base_w = tricube(rel / h)
+
+    from numpy.lib.stride_tricks import sliding_window_view
+
+    y_win = sliding_window_view(y, q)[starts]
+    rw_win = sliding_window_view(robustness_weights, q)[starts]
+    w = base_w * rw_win
+    xc = rel * dx
+
+    sw = w.sum(axis=1)
+    swy = (w * y_win).sum(axis=1)
+    safe_sw = np.maximum(sw, 1e-300)
+    if degree == 0:
+        out = swy / safe_sw
+    else:
+        swx = (w * xc).sum(axis=1)
+        swxx = (w * xc * xc).sum(axis=1)
+        swxy = (w * xc * y_win).sum(axis=1)
+        denom = sw * swxx - swx * swx
+        ok = np.abs(denom) > 1e-12 * np.maximum(sw * swxx, 1e-12)
+        slope = np.where(ok, (sw * swxy - swx * swy) / np.where(ok, denom, 1.0), 0.0)
+        out = (swy - slope * swx) / safe_sw
+    # windows whose weights all vanished fall back to the plain window mean
+    dead = sw <= 0
+    if dead.any():
+        out = out.copy()
+        out[dead] = y_win[dead].mean(axis=1)
+    return out
+
+
+def loess_smooth(
+    x: np.ndarray,
+    y: np.ndarray,
+    q: int,
+    *,
+    degree: int = 1,
+    xout: np.ndarray | None = None,
+    robustness_weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Smooth ``y`` observed at ``x`` with LOESS.
+
+    Parameters
+    ----------
+    x, y:
+        Sample abscissae and values, same length.  ``x`` need not be
+        regular but must be finite.
+    q:
+        Neighbourhood size in points (the STL smoothing parameter).
+    degree:
+        Local polynomial degree, 0 (weighted mean) or 1 (weighted line).
+    xout:
+        Points at which to evaluate; defaults to ``x``.
+    robustness_weights:
+        Optional per-sample weights from STL's outer loop.
+
+    Returns
+    -------
+    numpy.ndarray of smoothed values at ``xout``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be 1-d arrays of equal length")
+    if degree not in (0, 1):
+        raise ValueError("degree must be 0 or 1")
+    if x.size == 0:
+        return np.array([], dtype=np.float64)
+    q = max(int(q), 2)
+    if xout is None:
+        xout = x
+    xout = np.asarray(xout, dtype=np.float64)
+    rw = (
+        np.ones_like(y)
+        if robustness_weights is None
+        else np.asarray(robustness_weights, dtype=np.float64)
+    )
+
+    fast = _loess_uniform(x, y, q, degree=degree, xout=xout, robustness_weights=rw)
+    if fast is not None:
+        return fast
+
+    sorted_x = x.size < 2 or bool(np.all(np.diff(x) > 0))
+
+    out = np.empty(xout.size, dtype=np.float64)
+    for j, x0 in enumerate(xout):
+        if sorted_x:
+            lo, hi, h = _sorted_window(x, x0, q)
+            xi = x[lo:hi]
+            yi = y[lo:hi]
+            w = tricube((xi - x0) / h) * rw[lo:hi]
+        else:
+            idx, h = _neighbourhood(x, x0, q)
+            xi = x[idx]
+            yi = y[idx]
+            w = tricube((xi - x0) / h) * rw[idx]
+        wsum = w.sum()
+        if wsum <= 0:
+            # all neighbourhood weights vanished (heavy robustness
+            # down-weighting); fall back to the unweighted local mean
+            out[j] = float(np.mean(yi))
+            continue
+        if degree == 0:
+            out[j] = float(np.dot(w, yi) / wsum)
+            continue
+        # weighted linear fit around x0
+        xc = xi - x0
+        sw = wsum
+        swx = float(np.dot(w, xc))
+        swxx = float(np.dot(w, xc * xc))
+        swy = float(np.dot(w, yi))
+        swxy = float(np.dot(w, xc * yi))
+        denom = sw * swxx - swx * swx
+        if abs(denom) < 1e-12 * max(sw * swxx, 1e-12):
+            out[j] = swy / sw
+        else:
+            slope = (sw * swxy - swx * swy) / denom
+            intercept = (swy - slope * swx) / sw
+            out[j] = intercept  # evaluated at xc = 0
+    return out

@@ -1,0 +1,68 @@
+"""Naive (classical) seasonal decomposition.
+
+The paper (§2.5) compared the "naive" seasonality model [80] with STL and
+chose STL for its robustness to outliers.  We implement the classical
+moving-average decomposition so the comparison can be reproduced (see the
+trend-extraction ablation experiment).
+
+``y = trend + seasonal + residual`` with
+
+* trend: centered moving average over one period (edges extended flat),
+* seasonal: per-phase mean of the detrended series, de-meaned,
+* residual: the rest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .stl import STLResult
+
+__all__ = ["naive_decompose"]
+
+
+def _centered_moving_average(y: np.ndarray, period: int) -> np.ndarray:
+    """Centered MA over one period; even periods use the standard 2x(p) MA."""
+    n = y.size
+    if period % 2 == 1:
+        kernel = np.full(period, 1.0 / period)
+    else:
+        # 2 x p moving average: half weight on the two edge samples
+        kernel = np.full(period + 1, 1.0 / period)
+        kernel[0] *= 0.5
+        kernel[-1] *= 0.5
+    valid = np.convolve(y, kernel, mode="valid")
+    pad_front = (n - valid.size) // 2
+    pad_back = n - valid.size - pad_front
+    return np.concatenate(
+        (np.full(pad_front, valid[0]), valid, np.full(pad_back, valid[-1]))
+    )
+
+
+def naive_decompose(values: np.ndarray, period: int) -> STLResult:
+    """Classical additive decomposition (the paper's "naive" model)."""
+    y = np.asarray(values, dtype=np.float64)
+    if y.ndim != 1:
+        raise ValueError("values must be one-dimensional")
+    if not np.all(np.isfinite(y)):
+        raise ValueError("values must be finite; interpolate NaNs first")
+    if period < 2:
+        raise ValueError("period must be at least 2")
+    if y.size < 2 * period:
+        raise ValueError(f"need at least two periods of data ({2 * period}), got {y.size}")
+
+    trend = _centered_moving_average(y, period)
+    detrended = y - trend
+    phases = np.arange(y.size) % period
+    seasonal_means = np.array(
+        [detrended[phases == k].mean() for k in range(period)], dtype=np.float64
+    )
+    seasonal_means -= seasonal_means.mean()
+    seasonal = seasonal_means[phases]
+    residual = y - trend - seasonal
+    return STLResult(
+        trend=trend,
+        seasonal=seasonal,
+        residual=residual,
+        robustness_weights=np.ones_like(y),
+    )

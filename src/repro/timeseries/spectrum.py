@@ -1,0 +1,84 @@
+"""Periodogram helpers for diurnality detection.
+
+The paper identifies diurnal blocks "by taking the FFT of the active
+addresses over time and looking for energy in frequencies corresponding to
+24 hours, or harmonics of that frequency" (§2.4, following [72]).  These
+helpers compute the power spectrum of a regularly sampled series and the
+fraction of (non-DC) power that falls in the diurnal bins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .series import SECONDS_PER_DAY
+
+__all__ = ["Periodogram", "periodogram", "diurnal_energy_ratio"]
+
+
+@dataclass(frozen=True)
+class Periodogram:
+    """One-sided power spectrum of a detrended series."""
+
+    frequencies: np.ndarray  # cycles per second
+    power: np.ndarray
+
+    @property
+    def total_power(self) -> float:
+        """Total power, excluding the DC bin."""
+        return float(self.power[1:].sum())
+
+    def power_near(self, frequency: float, tolerance_bins: int = 1) -> float:
+        """Power within ``tolerance_bins`` bins of ``frequency`` (excl. DC)."""
+        if self.frequencies.size < 2:
+            return 0.0
+        df = self.frequencies[1] - self.frequencies[0]
+        center = int(round(frequency / df))
+        lo = max(center - tolerance_bins, 1)
+        hi = min(center + tolerance_bins + 1, self.power.size)
+        if lo >= hi:
+            return 0.0
+        return float(self.power[lo:hi].sum())
+
+
+def periodogram(values: np.ndarray, sample_seconds: float) -> Periodogram:
+    """One-sided FFT power spectrum of a series after mean removal.
+
+    NaNs are replaced by the series mean (contributing no power), which
+    keeps blocks with short unreconstructed prefixes usable.
+    """
+    y = np.asarray(values, dtype=np.float64)
+    good = np.isfinite(y)
+    if not good.any():
+        return Periodogram(np.array([0.0]), np.array([0.0]))
+    mean = float(y[good].mean())
+    y = np.where(good, y, mean) - mean
+    spectrum = np.fft.rfft(y)
+    power = np.abs(spectrum) ** 2 / max(y.size, 1)
+    freqs = np.fft.rfftfreq(y.size, d=sample_seconds)
+    return Periodogram(freqs, power)
+
+
+def diurnal_energy_ratio(
+    values: np.ndarray,
+    sample_seconds: float,
+    *,
+    harmonics: int = 4,
+    tolerance_bins: int = 1,
+) -> float:
+    """Fraction of non-DC spectral power at 24 h and its harmonics.
+
+    A ratio near 1 means nearly all variation is diurnal; always-on and
+    random blocks score near 0.  Returns 0.0 for series with no power.
+    """
+    pg = periodogram(values, sample_seconds)
+    total = pg.total_power
+    if total <= 0:
+        return 0.0
+    base = 1.0 / SECONDS_PER_DAY
+    diurnal = sum(
+        pg.power_near(base * k, tolerance_bins=tolerance_bins) for k in range(1, harmonics + 1)
+    )
+    return min(diurnal / total, 1.0)

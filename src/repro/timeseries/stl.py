@@ -1,0 +1,177 @@
+"""Seasonal-Trend decomposition using LOESS (STL).
+
+Implements the procedure of Cleveland, Cleveland, McRae & Terpenning
+(*STL: A seasonal-trend decomposition procedure based on Loess*, Journal of
+Official Statistics, 1990), which the paper adopts for trend extraction
+(paper §2.5, [19]).  The input must be a regularly sampled series; NaNs
+should be interpolated first (see :meth:`TimeSeries.interpolate_nan`).
+
+The decomposition satisfies ``y = trend + seasonal + residual`` exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .loess import loess_smooth
+
+__all__ = ["STLResult", "stl_decompose"]
+
+
+@dataclass(frozen=True)
+class STLResult:
+    """Components of an STL decomposition (all same length as the input)."""
+
+    trend: np.ndarray
+    seasonal: np.ndarray
+    residual: np.ndarray
+    robustness_weights: np.ndarray
+
+    @property
+    def observed(self) -> np.ndarray:
+        return self.trend + self.seasonal + self.residual
+
+
+def _next_odd(value: float) -> int:
+    v = int(np.ceil(value))
+    return v if v % 2 == 1 else v + 1
+
+
+def _moving_average(x: np.ndarray, window: int) -> np.ndarray:
+    """Simple moving average; output is shorter by ``window - 1``."""
+    kernel = np.full(window, 1.0 / window)
+    return np.convolve(x, kernel, mode="valid")
+
+
+def _low_pass(x: np.ndarray, period: int, n_l: int) -> np.ndarray:
+    """STL low-pass filter: MA(p), MA(p), MA(3), then LOESS(n_l, degree 1)."""
+    smoothed = _moving_average(_moving_average(_moving_average(x, period), period), 3)
+    grid = np.arange(smoothed.size, dtype=np.float64)
+    return loess_smooth(grid, smoothed, n_l, degree=1)
+
+
+def _smooth_cycle_subseries(
+    detrended: np.ndarray,
+    period: int,
+    seasonal_smoother: int | None,
+    robustness_weights: np.ndarray,
+) -> np.ndarray:
+    """Smooth each cycle subseries, extending one period at both ends.
+
+    Returns an array of length ``n + 2 * period`` (positions -period..n+period).
+    With ``seasonal_smoother=None`` the subseries are replaced by their
+    (robustness-weighted) means, i.e. a strictly periodic seasonal.
+    """
+    n = detrended.size
+    extended = np.empty(n + 2 * period, dtype=np.float64)
+    for phase in range(period):
+        idx = np.arange(phase, n, period)
+        sub = detrended[idx]
+        rw = robustness_weights[idx]
+        positions = np.arange(sub.size, dtype=np.float64)
+        # evaluate at -1 .. m so the low-pass filter has full support
+        xout = np.arange(-1, sub.size + 1, dtype=np.float64)
+        if seasonal_smoother is None:
+            wsum = rw.sum()
+            mean = float(np.dot(rw, sub) / wsum) if wsum > 0 else float(sub.mean())
+            smoothed = np.full(xout.size, mean)
+        else:
+            smoothed = loess_smooth(
+                positions, sub, seasonal_smoother, degree=1, xout=xout, robustness_weights=rw
+            )
+        extended[phase::period] = _place(smoothed, xout.size)
+    return extended
+
+
+def _place(smoothed: np.ndarray, expect: int) -> np.ndarray:
+    if smoothed.size != expect:
+        raise AssertionError("cycle subseries smoothing returned unexpected length")
+    return smoothed
+
+
+def _bisquare(u: np.ndarray) -> np.ndarray:
+    a = np.clip(np.abs(u), 0.0, 1.0)
+    return (1.0 - a**2) ** 2
+
+
+def stl_decompose(
+    values: np.ndarray,
+    period: int,
+    *,
+    seasonal_smoother: int | None = 7,
+    trend_smoother: int | None = None,
+    low_pass_smoother: int | None = None,
+    inner_iterations: int = 2,
+    outer_iterations: int = 1,
+) -> STLResult:
+    """Decompose ``values`` into trend + seasonal + residual via STL.
+
+    Parameters
+    ----------
+    values:
+        Regularly sampled, finite series; at least two full periods.
+    period:
+        Samples per seasonal cycle (24 for daily seasonality on hourly data).
+    seasonal_smoother:
+        LOESS neighbourhood (odd, >= 3) for cycle-subseries smoothing, or
+        ``None`` for a strictly periodic seasonal component.
+    trend_smoother:
+        LOESS neighbourhood for the trend pass; defaults to the smallest
+        odd integer >= ``1.5 * period / (1 - 1.5 / seasonal_smoother)``.
+    low_pass_smoother:
+        LOESS neighbourhood for the low-pass filter; defaults to the
+        smallest odd integer >= ``period``.
+    inner_iterations, outer_iterations:
+        Loop counts; ``outer_iterations > 0`` enables the robustness
+        weighting that makes STL resistant to outliers (the property the
+        paper cites for preferring STL over the naive model).
+    """
+    y = np.asarray(values, dtype=np.float64)
+    if y.ndim != 1:
+        raise ValueError("values must be one-dimensional")
+    if not np.all(np.isfinite(y)):
+        raise ValueError("values must be finite; interpolate NaNs first")
+    if period < 2:
+        raise ValueError("period must be at least 2")
+    n = y.size
+    if n < 2 * period:
+        raise ValueError(f"need at least two periods of data ({2 * period}), got {n}")
+    if seasonal_smoother is not None and seasonal_smoother < 3:
+        raise ValueError("seasonal_smoother must be None or >= 3")
+
+    if trend_smoother is None:
+        ns_eff = seasonal_smoother if seasonal_smoother is not None else 10 * n + 1
+        trend_smoother = _next_odd(1.5 * period / (1.0 - 1.5 / ns_eff))
+    if low_pass_smoother is None:
+        low_pass_smoother = _next_odd(period)
+
+    grid = np.arange(n, dtype=np.float64)
+    trend = np.zeros(n)
+    seasonal = np.zeros(n)
+    rho = np.ones(n)
+
+    for outer in range(max(outer_iterations, 0) + 1):
+        for _ in range(max(inner_iterations, 1)):
+            detrended = y - trend
+            extended = _smooth_cycle_subseries(detrended, period, seasonal_smoother, rho)
+            low = _low_pass(extended, period, low_pass_smoother)
+            seasonal = extended[period : period + n] - low
+            deseasonalized = y - seasonal
+            trend = loess_smooth(
+                grid, deseasonalized, trend_smoother, degree=1, robustness_weights=rho
+            )
+        if outer == max(outer_iterations, 0):
+            break
+        residual = y - trend - seasonal
+        scale = 6.0 * float(np.median(np.abs(residual)))
+        if scale <= 0:
+            rho = np.ones(n)
+        else:
+            rho = _bisquare(residual / scale)
+            # keep weights strictly positive so neighbourhoods never vanish
+            rho = np.maximum(rho, 1e-6)
+
+    residual = y - trend - seasonal
+    return STLResult(trend=trend, seasonal=seasonal, residual=residual, robustness_weights=rho)

@@ -1,0 +1,106 @@
+"""Unit tests for address primitives and the geolocation substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.addresses import BLOCK_SIZE, BlockAddress, format_ipv4, parse_ipv4
+from repro.net.geo import WORLD_CITIES, GeoInfo, GridCell, city_by_name, gridcell_of
+
+
+class TestIpv4Formatting:
+    def test_roundtrip(self):
+        for text in ("0.0.0.0", "128.9.144.0", "255.255.255.255", "10.1.2.3"):
+            assert format_ipv4(parse_ipv4(text)) == text
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "300.1.1.1", "a.b.c.d"):
+            with pytest.raises(ValueError):
+                parse_ipv4(bad)
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_ipv4(1 << 32)
+
+
+class TestBlockAddress:
+    def test_from_cidr(self):
+        blk = BlockAddress.from_cidr("128.9.144.0/24")
+        assert blk.cidr == "128.9.144.0/24"
+        assert str(blk) == "128.9.144.0/24"
+
+    def test_cidr_suffix_optional(self):
+        assert BlockAddress.from_cidr("10.0.1.0") == BlockAddress.from_cidr("10.0.1.0/24")
+
+    def test_rejects_non_24(self):
+        with pytest.raises(ValueError, match="/24"):
+            BlockAddress.from_cidr("10.0.0.0/16")
+
+    def test_rejects_nonzero_last_octet(self):
+        with pytest.raises(ValueError, match=r"\.0"):
+            BlockAddress.from_cidr("10.0.0.5/24")
+
+    def test_address_formatting(self):
+        blk = BlockAddress.from_cidr("128.9.144.0/24")
+        assert blk.address(17) == "128.9.144.17"
+        with pytest.raises(ValueError):
+            blk.address(BLOCK_SIZE)
+
+    def test_index_roundtrip(self):
+        blk = BlockAddress.from_index(12345)
+        assert blk.index == 12345
+
+    def test_ordering(self):
+        assert BlockAddress.from_index(1) < BlockAddress.from_index(2)
+
+
+class TestGridCells:
+    def test_gridcell_floors_to_even_degrees(self):
+        assert gridcell_of(30.6, 114.3) == GridCell(30, 114)
+        assert gridcell_of(39.9, 116.4) == GridCell(38, 116)
+        assert gridcell_of(-23.55, -46.6) == GridCell(-24, -48)
+
+    def test_paper_cells_match(self):
+        # the paper's named gridcells should match our city catalogue
+        assert city_by_name("Wuhan").gridcell == GridCell(30, 114)
+        assert city_by_name("New Delhi").gridcell == GridCell(28, 76)
+        assert city_by_name("Abu Dhabi").gridcell == GridCell(24, 54)
+        assert city_by_name("Ljubljana").gridcell == GridCell(46, 14)
+
+    def test_contains(self):
+        cell = GridCell(30, 114)
+        assert cell.contains(30.0, 114.0)
+        assert cell.contains(31.99, 115.99)
+        assert not cell.contains(32.0, 114.0)
+
+    def test_str_hemispheres(self):
+        assert str(GridCell(30, 114)) == "(30N, 114E)"
+        assert str(GridCell(-24, -48)) == "(24S, 48W)"
+
+    def test_geoinfo_gridcell(self):
+        info = GeoInfo(lat=30.5, lon=114.2, country="China", continent="Asia", city="Wuhan")
+        assert info.gridcell == GridCell(30, 114)
+
+
+class TestCatalogue:
+    def test_city_lookup(self):
+        assert city_by_name("Tokyo").continent == "Asia"
+        with pytest.raises(KeyError):
+            city_by_name("Atlantis")
+
+    def test_all_weights_positive(self):
+        assert all(c.weight > 0 for c in WORLD_CITIES)
+
+    def test_all_continents_covered(self):
+        continents = {c.continent for c in WORLD_CITIES}
+        assert continents >= {
+            "Asia",
+            "Europe",
+            "North America",
+            "South America",
+            "Africa",
+            "Oceania",
+        }
+
+    def test_timezones_plausible(self):
+        assert all(-12 <= c.tz_hours <= 14 for c in WORLD_CITIES)

@@ -1,0 +1,130 @@
+"""Unit tests for geographic aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.aggregate import BlockRecord, GridAggregator
+from repro.net.geo import GeoInfo, GridCell
+
+
+def record(lat, lon, continent="Asia", responsive=True, cs=False, down=(), up=()):
+    return BlockRecord(
+        geo=GeoInfo(lat=lat, lon=lon, country="X", continent=continent, city="Y"),
+        responsive=responsive,
+        change_sensitive=cs,
+        downward_days=tuple(down),
+        upward_days=tuple(up),
+    )
+
+
+def filled_aggregator(n_cs=6, n_plain=4, cell=(30.5, 114.5)) -> GridAggregator:
+    agg = GridAggregator()
+    lat, lon = cell
+    for i in range(n_cs):
+        agg.add(record(lat, lon, cs=True, down=(10, 20) if i < 3 else (10,)))
+    for _ in range(n_plain):
+        agg.add(record(lat, lon))
+    return agg
+
+
+class TestAccumulation:
+    def test_groups_by_gridcell(self):
+        agg = GridAggregator()
+        agg.add(record(30.5, 114.5))
+        agg.add(record(31.9, 115.9))
+        agg.add(record(32.1, 114.5))  # next cell north
+        cells = agg.cells
+        assert cells[GridCell(30, 114)].n_responsive == 2
+        assert cells[GridCell(32, 114)].n_responsive == 1
+
+    def test_unresponsive_blocks_ignored(self):
+        agg = GridAggregator()
+        agg.add(record(30.5, 114.5, responsive=False))
+        assert not agg.cells
+
+    def test_downward_days_counted_for_cs_only(self):
+        agg = GridAggregator()
+        agg.add(record(30.5, 114.5, cs=False, down=(5,)))
+        agg.add(record(30.5, 114.5, cs=True, down=(5,)))
+        stats = agg.cell(GridCell(30, 114))
+        assert stats.downward_by_day[5] == 1
+
+    def test_continent_majority(self):
+        agg = GridAggregator()
+        agg.add(record(30.5, 114.5, continent="Asia"))
+        agg.add(record(30.5, 114.5, continent="Asia"))
+        agg.add(record(30.5, 114.5, continent="Europe"))
+        assert agg.cell(GridCell(30, 114)).continent == "Asia"
+
+
+class TestCoverage:
+    def test_representation_thresholds(self):
+        agg = filled_aggregator(n_cs=6, n_plain=4)
+        cov = agg.coverage()
+        assert cov.n_observed == 1
+        assert cov.n_represented == 1
+
+    def test_under_represented_cell(self):
+        agg = filled_aggregator(n_cs=3, n_plain=4)
+        cov = agg.coverage()
+        assert cov.n_observed == 1
+        assert cov.n_represented == 0
+        assert cov.n_under_represented == 1
+
+    def test_under_observed_cell(self):
+        agg = filled_aggregator(n_cs=1, n_plain=1)
+        cov = agg.coverage()
+        assert cov.n_under_observed == 1
+
+    def test_block_weighted_sums(self):
+        agg = filled_aggregator(n_cs=6, n_plain=4)
+        agg.add(record(50.5, 10.5, cs=True))  # a lone CS block elsewhere
+        cov = agg.coverage()
+        assert cov.cs_blocks_total == 7
+        assert cov.cs_blocks_represented == 6
+        assert cov.cs_block_weighted_coverage == pytest.approx(6 / 7)
+
+    def test_threshold_override(self):
+        agg = filled_aggregator(n_cs=3, n_plain=0)
+        cov = agg.coverage(min_responsive=3, min_change_sensitive=3)
+        assert cov.n_represented == 1
+
+
+class TestDailySeries:
+    def test_cell_daily_fractions(self):
+        agg = filled_aggregator(n_cs=6)
+        down, up = agg.cell_daily_fractions(GridCell(30, 114), first_day=0, n_days=30)
+        assert down[10] == pytest.approx(1.0)  # all six blocks changed day 10
+        assert down[20] == pytest.approx(0.5)
+        assert down[5] == 0.0
+        assert up.sum() == 0.0
+
+    def test_unknown_cell_gives_zeros(self):
+        agg = GridAggregator()
+        down, up = agg.cell_daily_fractions(GridCell(0, 0), 0, 5)
+        assert not down.any() and not up.any()
+
+    def test_continent_fractions(self):
+        agg = GridAggregator()
+        for _ in range(5):
+            agg.add(record(30.5, 114.5, continent="Asia", cs=True, down=(3,)))
+        for _ in range(5):
+            agg.add(record(50.5, 10.5, continent="Europe", cs=True, down=(7,)))
+        series = agg.continent_daily_fractions(0, 10, represented_only=False)
+        assert series["Asia"][3] == pytest.approx(1.0)
+        assert series["Asia"][7] == 0.0
+        assert series["Europe"][7] == pytest.approx(1.0)
+
+    def test_represented_only_filter(self):
+        agg = GridAggregator()
+        agg.add(record(30.5, 114.5, continent="Asia", cs=True, down=(3,)))
+        series = agg.continent_daily_fractions(0, 10, represented_only=True)
+        assert "Asia" not in series  # single-block cell is not represented
+
+    def test_out_of_range_days_dropped(self):
+        agg = filled_aggregator()
+        down, _ = agg.cell_daily_fractions(GridCell(30, 114), first_day=15, n_days=10)
+        assert down[5] == pytest.approx(0.5)  # day 20
+        assert down.size == 10

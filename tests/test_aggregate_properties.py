@@ -1,0 +1,82 @@
+"""Property-based invariants of geographic coverage accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregate import BlockRecord, GridAggregator
+from repro.net.geo import GeoInfo
+
+
+@st.composite
+def block_records(draw, max_records=80):
+    n = draw(st.integers(min_value=0, max_value=max_records))
+    records = []
+    for _ in range(n):
+        lat = draw(st.floats(min_value=-60, max_value=70, allow_nan=False))
+        lon = draw(st.floats(min_value=-179, max_value=179, allow_nan=False))
+        cs = draw(st.booleans())
+        records.append(
+            BlockRecord(
+                geo=GeoInfo(lat=lat, lon=lon, country="X", continent="Asia", city="Y"),
+                responsive=draw(st.booleans()),
+                change_sensitive=cs,
+                downward_days=tuple(
+                    draw(st.lists(st.integers(0, 30), max_size=3))
+                )
+                if cs
+                else (),
+            )
+        )
+    return records
+
+
+class TestCoverageInvariants:
+    @given(block_records(), st.integers(1, 10), st.integers(1, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_cell_partitions_sum(self, records, min_resp, min_cs):
+        agg = GridAggregator().add_all(records)
+        cov = agg.coverage(min_responsive=min_resp, min_change_sensitive=min_cs)
+        assert cov.n_under_observed + cov.n_observed == cov.n_cells
+        assert cov.n_under_represented + cov.n_represented == cov.n_observed
+
+    @given(block_records(), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_coverage_monotone_in_threshold(self, records, t):
+        agg = GridAggregator().add_all(records)
+        low = agg.coverage(min_responsive=t, min_change_sensitive=t)
+        high = agg.coverage(min_responsive=t + 1, min_change_sensitive=t + 1)
+        assert high.n_observed <= low.n_observed
+        assert high.n_represented <= low.n_represented
+        assert high.cs_blocks_represented <= low.cs_blocks_represented
+
+    @given(block_records())
+    @settings(max_examples=40, deadline=None)
+    def test_block_sums_bounded(self, records):
+        agg = GridAggregator().add_all(records)
+        cov = agg.coverage()
+        responsive = sum(r.responsive for r in records)
+        cs = sum(r.change_sensitive and r.responsive for r in records)
+        assert cov.responsive_blocks_total == responsive
+        assert cov.cs_blocks_total == cs
+        assert cov.cs_blocks_represented <= cov.cs_blocks_total
+        assert cov.responsive_blocks_represented <= cov.responsive_blocks_observed
+
+    @given(block_records(), st.integers(0, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_daily_fractions_bounded(self, records, day):
+        agg = GridAggregator().add_all(records)
+        for cell in agg.cells:
+            down, up = agg.cell_daily_fractions(cell, 0, 31)
+            assert np.all(down >= 0) and np.all(down <= 1)
+            assert np.all(up >= 0) and np.all(up <= 1)
+
+    @given(block_records())
+    @settings(max_examples=30, deadline=None)
+    def test_continent_fractions_bounded(self, records):
+        agg = GridAggregator().add_all(records)
+        series = agg.continent_daily_fractions(0, 31, represented_only=False)
+        for values in series.values():
+            assert np.all(values >= 0) and np.all(values <= 1)

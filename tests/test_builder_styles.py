@@ -1,0 +1,76 @@
+"""Tests for builder observer styles and observation-cache extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.builder import DatasetBuilder
+from repro.net.world import WorldModel, scenario_covid2020
+
+
+@pytest.fixture(scope="module")
+def world():
+    return WorldModel(scenario_covid2020(), n_blocks=30, seed=91, diurnal_boost=3.0)
+
+
+class TestObserverStyles:
+    def test_unknown_style_rejected(self, world):
+        with pytest.raises(ValueError, match="observer_style"):
+            DatasetBuilder(world, observer_style="psychic")
+
+    def test_bayesian_style_builds_bayesian_observers(self, world):
+        from repro.net.bayesian import BayesianTrinocularObserver
+
+        builder = DatasetBuilder(world, observer_style="bayesian")
+        assert all(
+            isinstance(obs, BayesianTrinocularObserver)
+            for obs in builder.observers.values()
+        )
+
+    def test_styles_agree_on_classification(self, world):
+        """Adaptive and Bayesian probing classify blocks alike (the
+        paper's simplification holds at the funnel level)."""
+        spec = next(
+            s for s in world.blocks if s.kind in ("pool", "workplace", "home")
+        )
+        adaptive = DatasetBuilder(world, observer_style="adaptive")
+        bayes = DatasetBuilder(world, observer_style="bayesian")
+        a = adaptive.analyze_block(spec, "2020m1-ejnw")
+        b = bayes.analyze_block(spec, "2020m1-ejnw")
+        assert a.classification.responsive == b.classification.responsive
+        assert a.classification.is_diurnal == b.classification.is_diurnal
+
+    def test_bayesian_probes_cheaper(self, world):
+        spec = next(s for s in world.blocks if s.kind == "churn")
+        adaptive = DatasetBuilder(world, observer_style="adaptive")
+        bayes = DatasetBuilder(world, observer_style="bayesian")
+        start = 92 * 86_400.0
+        a = adaptive.observe(spec, "e", start, 7 * 86_400.0)
+        b = bayes.observe(spec, "e", start, 7 * 86_400.0)
+        assert len(b) <= len(a)
+
+
+class TestCacheExtension:
+    def test_cache_extends_backwards_and_forwards(self, world):
+        builder = DatasetBuilder(world)
+        spec = next(s for s in world.blocks if s.responsive_by_design)
+        mid = builder.observe(spec, "e", 10 * 86_400.0, 5 * 86_400.0)
+        # a wider request must re-simulate the union and still slice right
+        wide = builder.observe(spec, "e", 8 * 86_400.0, 10 * 86_400.0)
+        assert wide.times[0] >= 8 * 86_400.0
+        assert wide.times[-1] < 18 * 86_400.0
+        # the original narrow window remains a strict subset
+        again = builder.observe(spec, "e", 10 * 86_400.0, 5 * 86_400.0)
+        assert len(again) > 0
+        assert again.times[0] >= 10 * 86_400.0
+        assert again.times[-1] < 15 * 86_400.0
+
+    def test_cached_slice_identical_to_fresh(self, world):
+        builder = DatasetBuilder(world)
+        spec = next(s for s in world.blocks if s.responsive_by_design)
+        first = builder.observe(spec, "j", 0.0, 7 * 86_400.0)
+        slice_again = builder.observe(spec, "j", 2 * 86_400.0, 3 * 86_400.0)
+        manual = first.slice_time(2 * 86_400.0, 5 * 86_400.0)
+        assert np.array_equal(slice_again.times, manual.times)
+        assert np.array_equal(slice_again.results, manual.results)

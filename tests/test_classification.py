@@ -1,0 +1,160 @@
+"""Unit tests for diurnality, swing, and change-sensitivity classification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.diurnal import DiurnalTest
+from repro.core.sensitivity import SensitivityClassifier
+from repro.core.swing import SwingTest
+from repro.timeseries.series import SECONDS_PER_DAY, TimeSeries
+
+
+def hourly(values):
+    values = np.asarray(values, dtype=float)
+    return TimeSeries(np.arange(values.size) * 3600.0, values)
+
+
+def diurnal_counts(n_days=14, amplitude=10.0, base=2.0, workweek=False):
+    t = np.arange(24 * n_days)
+    day = t // 24
+    wave = np.maximum(np.sin(2 * np.pi * (t % 24) / 24.0), 0.0)
+    values = base + amplitude * wave
+    if workweek:
+        weekend = (day % 7 >= 5)
+        values = np.where(weekend, base, values)
+    return hourly(values)
+
+
+class TestDiurnalTest:
+    def test_accepts_daily_cycle(self):
+        verdict = DiurnalTest().evaluate(diurnal_counts())
+        assert verdict.is_diurnal
+        assert verdict.energy_ratio > 0.5
+
+    def test_accepts_workweek_gated_cycle(self):
+        verdict = DiurnalTest().evaluate(diurnal_counts(workweek=True))
+        assert verdict.is_diurnal
+
+    def test_rejects_flat_series(self):
+        verdict = DiurnalTest().evaluate(hourly(np.full(24 * 14, 5.0)))
+        assert not verdict.is_diurnal
+        assert verdict.energy_ratio == 0.0
+
+    def test_rejects_white_noise(self):
+        rng = np.random.default_rng(0)
+        verdict = DiurnalTest().evaluate(hourly(rng.normal(10, 2, 24 * 28)))
+        assert not verdict.is_diurnal
+
+    def test_rejects_too_short_observation(self):
+        verdict = DiurnalTest(min_days=3).evaluate(diurnal_counts(n_days=2))
+        assert not verdict.is_diurnal
+        assert verdict.n_days < 3
+
+    def test_nan_prefix_tolerated(self):
+        ts = diurnal_counts()
+        values = ts.values.copy()
+        values[:24] = np.nan
+        verdict = DiurnalTest().evaluate(ts.with_values(values))
+        assert verdict.is_diurnal
+
+
+class TestSwingTest:
+    def test_wide_daily_swing_detected(self):
+        profile = SwingTest().evaluate(diurnal_counts(amplitude=10))
+        assert profile.is_wide
+        assert profile.max_swing >= 5.0
+
+    def test_narrow_swing_rejected(self):
+        profile = SwingTest().evaluate(diurnal_counts(amplitude=3))
+        assert not profile.is_wide
+
+    def test_four_of_seven_rule_tolerates_long_weekends(self):
+        # wide Mon-Thu only (4 of 7 days)
+        t = np.arange(24 * 21)
+        day = t // 24
+        wave = 8.0 * np.maximum(np.sin(2 * np.pi * (t % 24) / 24.0), 0)
+        values = np.where(day % 7 < 4, 2 + wave, 2.0)
+        profile = SwingTest().evaluate(hourly(values))
+        assert profile.is_wide
+
+    def test_three_wide_days_per_week_insufficient(self):
+        t = np.arange(24 * 21)
+        day = t // 24
+        wave = 8.0 * np.maximum(np.sin(2 * np.pi * (t % 24) / 24.0), 0)
+        values = np.where(day % 7 < 3, 2 + wave, 2.0)
+        profile = SwingTest().evaluate(hourly(values))
+        assert not profile.is_wide
+
+    def test_one_wide_week_suffices(self):
+        # quiet three weeks, one active week
+        t = np.arange(24 * 28)
+        day = t // 24
+        wave = 8.0 * np.maximum(np.sin(2 * np.pi * (t % 24) / 24.0), 0)
+        values = np.where((day >= 7) & (day < 14), 2 + wave, 2.0)
+        profile = SwingTest().evaluate(hourly(values))
+        assert profile.is_wide
+
+    def test_empty_series(self):
+        profile = SwingTest().evaluate(TimeSeries(np.array([]), np.array([])))
+        assert not profile.is_wide
+
+    def test_gap_days_count_against_window(self):
+        # 4 wide days, then a long gap: the dense-axis window must see the gap
+        times = np.concatenate(
+            [np.arange(24 * 4) * 3600.0, 20 * SECONDS_PER_DAY + np.arange(24) * 3600.0]
+        )
+        t = np.arange(24 * 4)
+        wave = 8.0 * np.maximum(np.sin(2 * np.pi * (t % 24) / 24.0), 0)
+        values = np.concatenate([2 + wave, np.full(24, 2.0)])
+        profile = SwingTest().evaluate(TimeSeries(times, values))
+        assert profile.is_wide  # 4 wide days within the first 7-day window
+
+
+class TestSensitivityClassifier:
+    def test_change_sensitive_block(self):
+        cls = SensitivityClassifier().classify(diurnal_counts(amplitude=12))
+        assert cls.responsive
+        assert cls.is_diurnal
+        assert cls.is_wide_swing
+        assert cls.is_change_sensitive
+        assert cls.funnel_row == "change-sensitive"
+
+    def test_unresponsive_block(self):
+        cls = SensitivityClassifier().classify(hourly(np.zeros(24 * 14)))
+        assert not cls.responsive
+        assert cls.funnel_row == "not responsive"
+
+    def test_all_nan_is_unresponsive(self):
+        cls = SensitivityClassifier().classify(hourly(np.full(24 * 7, np.nan)))
+        assert not cls.responsive
+
+    def test_diurnal_but_narrow_is_not_sensitive(self):
+        cls = SensitivityClassifier().classify(diurnal_counts(amplitude=3))
+        assert cls.is_diurnal
+        assert not cls.is_change_sensitive
+        assert cls.funnel_row == "not change-sensitive"
+
+    def test_wide_but_not_diurnal_is_not_sensitive(self):
+        # one random-level jump per day at a uniformly random hour: daily
+        # swings are wide, but jump phases are random so no diurnal line
+        rng = np.random.default_rng(1)
+        days = []
+        level = 20.0
+        for _ in range(28):
+            hour = int(rng.integers(0, 24))
+            new = float(rng.integers(0, 40))
+            day = np.full(24, level)
+            day[hour:] = new
+            level = new
+            days.append(day)
+        cls = SensitivityClassifier().classify(hourly(np.concatenate(days)))
+        assert cls.is_wide_swing
+        assert not cls.is_diurnal
+        assert not cls.is_change_sensitive
+
+    def test_servers_not_change_sensitive(self):
+        cls = SensitivityClassifier().classify(hourly(np.full(24 * 14, 250.0)))
+        assert cls.responsive
+        assert not cls.is_change_sensitive

@@ -1,0 +1,64 @@
+"""Tests for the `repro export` subcommand (stubbed campaign)."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.aggregate import BlockRecord, GridAggregator
+from repro.net.geo import GeoInfo
+
+
+@dataclass
+class _FakeCampaign:
+    records: tuple
+    first_day: int = 92
+    n_days: int = 182
+
+    def aggregator(self, **kwargs):
+        agg = GridAggregator(min_responsive=1, min_change_sensitive=1)
+        return agg.add_all(list(self.records))
+
+
+@pytest.fixture()
+def stubbed_campaign(monkeypatch):
+    geo = GeoInfo(lat=30.5, lon=114.5, country="China", continent="Asia", city="Wuhan")
+    records = (
+        BlockRecord(geo=geo, responsive=True, change_sensitive=True, downward_days=(100,)),
+        BlockRecord(geo=geo, responsive=True, change_sensitive=True, downward_days=(100, 120)),
+        BlockRecord(geo=geo, responsive=True, change_sensitive=False),
+    )
+    campaign = _FakeCampaign(records=records)
+    import repro.experiments.common as common
+
+    monkeypatch.setattr(common, "covid_campaign", lambda *a, **k: campaign)
+    return campaign
+
+
+class TestCliExport:
+    def test_export_writes_all_artifacts(self, stubbed_campaign, tmp_path, capsys):
+        from repro.cli import main
+
+        out_dir = tmp_path / "results"
+        assert main(["export", str(out_dir)]) == 0
+        assert (out_dir / "gridcell_daily.csv").exists()
+        assert (out_dir / "change_sensitive_map.geojson").exists()
+        assert (out_dir / "blocks.csv").exists()
+
+        payload = json.loads((out_dir / "change_sensitive_map.geojson").read_text())
+        assert payload["features"][0]["properties"]["change_sensitive_blocks"] == 2
+
+        csv_lines = (out_dir / "blocks.csv").read_text().strip().splitlines()
+        assert len(csv_lines) == 4  # header + 3 blocks
+
+        message = capsys.readouterr().out
+        assert "wrote" in message
+
+    def test_export_creates_directory(self, stubbed_campaign, tmp_path):
+        from repro.cli import main
+
+        nested = tmp_path / "a" / "b"
+        assert main(["export", str(nested)]) == 0
+        assert nested.is_dir()

@@ -1,0 +1,60 @@
+"""Tests for the experiment-campaign infrastructure."""
+
+from __future__ import annotations
+
+from datetime import date
+
+import pytest
+
+from repro.experiments.common import (
+    bench_scale,
+    control_world,
+    covid_world,
+)
+
+
+class TestBenchScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert bench_scale(123) == 123
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "77")
+        assert bench_scale(123) == 77
+
+
+class TestWorldFactories:
+    def test_memoized(self):
+        assert covid_world(50, 1) is covid_world(50, 1)
+        assert covid_world(50, 1) is not covid_world(50, 2)
+
+    def test_scenarios_differ(self):
+        assert covid_world(50, 1).scenario.name == "covid2020"
+        assert control_world(50, 1).scenario.name == "baseline2023"
+
+    def test_boost_changes_world(self):
+        plain = covid_world(200, 3, diurnal_boost=1.0)
+        boosted = covid_world(200, 3, diurnal_boost=4.0)
+        def diurnal_count(world):
+            return sum(s.kind in ("pool", "workplace", "home") for s in world.blocks)
+        assert diurnal_count(boosted) > diurnal_count(plain)
+
+
+class TestCampaignDayMath:
+    def test_day_of_and_date_of_roundtrip(self):
+        # use a lightweight fake: Campaign only needs world.epoch
+        from repro.experiments.common import Campaign
+
+        world = covid_world(50, 1)
+        campaign = Campaign(
+            world=world,
+            baseline=None,
+            records=(),
+            analyses={},
+            first_day=92,
+            n_days=182,
+        )
+        d = date(2020, 3, 15)
+        assert campaign.date_of(campaign.day_of(d)) == d
+        assert campaign.day_of(date(2019, 10, 1)) == 0
+        assert campaign.day_of(date(2020, 1, 1)) == 92

@@ -1,0 +1,103 @@
+"""Unit tests for the CUSUM change detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.timeseries.detect import detect_cusum
+
+
+def step_series(n=400, at=200, levels=(0.0, -3.0), noise=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    y = np.where(np.arange(n) < at, levels[0], levels[1]).astype(float)
+    return y + rng.normal(0, noise, n)
+
+
+class TestDetection:
+    def test_detects_downward_step(self):
+        y = step_series()
+        result = detect_cusum(y, threshold=1.0, drift=0.01)
+        assert len(result.downward) >= 1
+        alarm = result.downward[0]
+        assert 195 <= alarm.alarm <= 215
+
+    def test_detects_upward_step(self):
+        y = step_series(levels=(0.0, 3.0))
+        result = detect_cusum(y, threshold=1.0, drift=0.01)
+        assert len(result.upward) >= 1
+
+    def test_no_alarms_on_flat_series(self):
+        result = detect_cusum(np.zeros(300), threshold=1.0, drift=0.001)
+        assert len(result) == 0
+
+    def test_no_alarms_on_small_noise(self):
+        rng = np.random.default_rng(1)
+        result = detect_cusum(rng.normal(0, 0.02, 500), threshold=1.0, drift=0.01)
+        assert len(result) == 0
+
+    def test_drift_suppresses_slow_ramp(self):
+        # a ramp rising 2 units over 1000 samples: per-sample rise 0.002
+        ramp = np.linspace(0, 2, 1000)
+        tolerant = detect_cusum(ramp, threshold=1.0, drift=0.01)
+        assert len(tolerant) == 0
+        sensitive = detect_cusum(ramp, threshold=1.0, drift=0.0)
+        assert len(sensitive) >= 1
+
+    def test_onset_precedes_alarm(self):
+        y = step_series(noise=0.2, levels=(0.0, -2.0))
+        result = detect_cusum(y, threshold=1.0, drift=0.01)
+        for alarm in result.alarms:
+            assert alarm.start <= alarm.alarm
+
+    def test_ending_at_or_after_onset(self):
+        y = step_series(noise=0.1)
+        result = detect_cusum(y, threshold=1.0, drift=0.01, estimate_ending=True)
+        for alarm in result.alarms:
+            assert alarm.end >= alarm.start
+
+    def test_amplitude_sign_matches_direction(self):
+        y = step_series(noise=0.02, levels=(0.0, -3.0))
+        result = detect_cusum(y, threshold=1.0, drift=0.01)
+        down = result.downward[0]
+        assert down.amplitude < 0
+
+    def test_two_changes_detected(self):
+        y = np.concatenate([np.zeros(150), np.full(150, -3.0), np.zeros(150)])
+        result = detect_cusum(y, threshold=1.0, drift=0.01)
+        assert len(result.downward) >= 1
+        assert len(result.upward) >= 1
+
+
+class TestRobustness:
+    def test_all_nan_yields_no_alarms(self):
+        result = detect_cusum(np.full(100, np.nan))
+        assert len(result) == 0
+
+    def test_leading_nans_forward_filled(self):
+        y = step_series()
+        y[:10] = np.nan
+        result = detect_cusum(y, threshold=1.0, drift=0.01)
+        assert len(result.downward) >= 1
+
+    def test_interior_nans_forward_filled(self):
+        y = step_series()
+        y[100:110] = np.nan
+        result = detect_cusum(y, threshold=1.0, drift=0.01)
+        assert len(result.downward) >= 1
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            detect_cusum(np.zeros((3, 3)))
+
+    def test_traces_have_input_length(self):
+        y = step_series(n=123)
+        result = detect_cusum(y)
+        assert result.gp.size == 123
+        assert result.gn.size == 123
+
+    def test_cumulative_sums_nonnegative(self):
+        y = step_series(noise=0.3)
+        result = detect_cusum(y, threshold=1.0, drift=0.01)
+        assert (result.gp >= 0).all()
+        assert (result.gn >= 0).all()

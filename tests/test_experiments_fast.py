@@ -1,0 +1,118 @@
+"""Smoke tests for the fast (non-campaign) experiment drivers.
+
+The expensive world-scale experiments run in benchmarks/; here we check
+the cheap ones end-to-end and validate the report plumbing of the rest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import REGISTRY, ablation_trend, fig1, fig2, fig4, fig6, fig11, fig15
+
+
+class TestFig2:
+    def test_matches_paper_table(self):
+        result = fig2.run()
+        assert result.matches_paper
+        assert all(result.shape_checks().values())
+
+    def test_report_contains_rows(self):
+        report = fig2.format_report(fig2.run())
+        assert "estimate:" in report and "truth:" in report
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig1.run()
+
+    def test_block_is_change_sensitive(self, result):
+        assert result.analysis.is_change_sensitive
+
+    def test_wfh_detected_within_tolerance(self, result):
+        assert result.detection_error_days is not None
+        assert result.detection_error_days <= 4
+
+    def test_eb_size_matches_paper(self, result):
+        assert result.eb_size == 88  # the paper's |E(b)| for 128.9.144.0/24
+
+    def test_shape_checks_pass(self, result):
+        assert all(result.shape_checks().values()), result.shape_checks()
+
+
+class TestFig4:
+    def test_easy_beats_hard(self):
+        result = fig4.run()
+        assert result.easy.correlation > result.hard.correlation
+        assert all(result.shape_checks().values()), result.shape_checks()
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6.run()
+
+    def test_lossy_observer_identified(self, result):
+        clean = result.clean_mean_raw
+        assert result.rates_raw["w"] < clean - 0.03
+
+    def test_repair_restores_lossy_observer(self, result):
+        assert all(result.shape_checks().values()), result.shape_checks()
+
+
+class TestFig11:
+    def test_shape_checks(self):
+        result = fig11.run()
+        assert all(result.shape_checks().values()), result.shape_checks()
+
+
+class TestFig15:
+    def test_shape_checks(self):
+        result = fig15.run()
+        assert all(result.shape_checks().values()), result.shape_checks()
+
+
+class TestAblation:
+    def test_stl_beats_naive_under_outliers(self):
+        result = ablation_trend.run()
+        assert result.outlier_stl_rmse < result.outlier_naive_rmse
+        assert all(result.shape_checks().values()), result.shape_checks()
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        expected = {
+            "table2", "table3", "table4", "table5",
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "fig9", "fig10", "fig11", "fig12_13", "fig14", "fig15",
+            "locations", "additional-probing", "ablation-trend",
+            "network-types", "retraining", "appendix-e", "ablation-repair",
+        }
+        assert set(REGISTRY) == expected
+
+    def test_every_module_has_interface(self):
+        for name, module in REGISTRY.items():
+            assert hasattr(module, "run"), name
+            assert hasattr(module, "format_report"), name
+            assert hasattr(module, "main"), name
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "table2" in out
+
+    def test_unknown_experiment(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig99"]) == 2
+
+    def test_run_fig2(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig2"]) == 0
+        assert "matches the paper's table: True" in capsys.readouterr().out

@@ -1,0 +1,99 @@
+"""End-to-end integration: a small world through the whole stack.
+
+These tests exercise exactly what a downstream user does: build a world,
+run a dataset through the builder, aggregate geographically, and confirm
+the ground-truth events surface as detections.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+
+import numpy as np
+import pytest
+
+from repro.core.aggregate import GridAggregator
+from repro.core.pipeline import BlockPipeline
+from repro.datasets.builder import DatasetBuilder
+from repro.net.events import WorkFromHome
+from repro.net.world import WorldModel, scenario_covid2020
+
+
+@pytest.fixture(scope="module")
+def analyzed_world():
+    """A 90-block boosted world analyzed over 2020q1 with 4 observers."""
+    world = WorldModel(
+        scenario_covid2020(), n_blocks=90, seed=77, diurnal_boost=3.0
+    )
+    builder = DatasetBuilder(world, BlockPipeline())
+    result = builder.analyze("2020q1-ejnw")
+    return world, builder, result
+
+
+class TestEndToEnd:
+    def test_funnel_is_plausible(self, analyzed_world):
+        _, _, result = analyzed_world
+        funnel = result.funnel()
+        assert funnel.routed == 90
+        assert 0 < funnel.responsive < 90
+        assert 0 < funnel.change_sensitive < funnel.responsive
+
+    def test_change_sensitive_blocks_are_diurnal_kinds(self, analyzed_world):
+        _, _, result = analyzed_world
+        for cidr in result.change_sensitive():
+            kind = result.block_specs[cidr].kind
+            assert kind in ("pool", "workplace", "home"), (cidr, kind)
+
+    def test_nat_and_server_blocks_never_change_sensitive(self, analyzed_world):
+        _, _, result = analyzed_world
+        for cidr, analysis in result.analyses.items():
+            if result.block_specs[cidr].kind in ("nat", "server"):
+                assert not analysis.is_change_sensitive
+
+    def test_wfh_events_detected_in_cs_blocks(self, analyzed_world):
+        world, _, result = analyzed_world
+        hits = 0
+        eligible = 0
+        for cidr in result.change_sensitive():
+            spec = result.block_specs[cidr]
+            wfh = [e for e in spec.events if isinstance(e, WorkFromHome)]
+            if not wfh:
+                continue
+            wfh_day = (wfh[0].start - world.epoch.date()).days
+            window = result.spec.start_s(world.epoch) / 86_400.0
+            if not (window + 7 <= wfh_day <= window + result.spec.duration_days - 7):
+                continue
+            eligible += 1
+            analysis = result.analyses[cidr]
+            days = analysis.downward_change_days()
+            if any(abs(d - wfh_day) <= 4 for d in days):
+                hits += 1
+        if eligible:
+            assert hits / eligible >= 0.3  # recall is imperfect, not absent
+
+    def test_aggregation_roundtrip(self, analyzed_world):
+        _, _, result = analyzed_world
+        agg = GridAggregator(min_responsive=2, min_change_sensitive=1)
+        agg.add_all(result.records())
+        coverage = agg.coverage()
+        assert coverage.n_cells > 5
+        assert coverage.cs_blocks_total == len(result.change_sensitive())
+
+    def test_reanalysis_is_deterministic(self, analyzed_world):
+        world, _, result = analyzed_world
+        builder2 = DatasetBuilder(world, BlockPipeline())
+        cs1 = sorted(result.change_sensitive())
+        result2 = builder2.analyze("2020q1-ejnw")
+        assert sorted(result2.change_sensitive()) == cs1
+
+    def test_counts_never_exceed_eb(self, analyzed_world):
+        world, builder, result = analyzed_world
+        for cidr in list(result.analyses)[:20]:
+            analysis = result.analyses[cidr]
+            if analysis.reconstruction.eb_size == 0:
+                continue
+            values = analysis.counts.values
+            good = np.isfinite(values)
+            if good.any():
+                assert values[good].max() <= analysis.reconstruction.eb_size
+                assert values[good].min() >= 0

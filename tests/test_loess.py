@@ -1,0 +1,87 @@
+"""Unit tests for the LOESS smoother."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.timeseries.loess import loess_smooth, tricube
+
+
+class TestTricube:
+    def test_peak_at_zero(self):
+        assert tricube(np.array([0.0]))[0] == pytest.approx(1.0)
+
+    def test_vanishes_outside_unit_interval(self):
+        assert tricube(np.array([1.0, 2.0, -3.0])).max() == pytest.approx(0.0)
+
+    def test_symmetric(self):
+        u = np.array([0.3, 0.7])
+        assert np.allclose(tricube(u), tricube(-u))
+
+
+class TestLoess:
+    def test_recovers_linear_function_exactly(self):
+        x = np.linspace(0, 10, 50)
+        y = 3.0 * x + 2.0
+        smoothed = loess_smooth(x, y, q=15, degree=1)
+        assert np.allclose(smoothed, y, atol=1e-8)
+
+    def test_degree_zero_recovers_constant(self):
+        x = np.arange(30, dtype=float)
+        y = np.full(30, 4.2)
+        assert np.allclose(loess_smooth(x, y, q=7, degree=0), 4.2)
+
+    def test_smooths_noise(self):
+        rng = np.random.default_rng(1)
+        x = np.arange(200, dtype=float)
+        y = np.sin(x / 30) + rng.normal(0, 0.5, 200)
+        smoothed = loess_smooth(x, y, q=41)
+        resid = smoothed - np.sin(x / 30)
+        assert np.abs(resid[20:-20]).max() < 0.4
+
+    def test_xout_evaluation(self):
+        x = np.arange(20, dtype=float)
+        y = 2.0 * x
+        out = loess_smooth(x, y, q=8, xout=np.array([5.5, 10.25]))
+        assert out == pytest.approx([11.0, 20.5], abs=1e-6)
+
+    def test_robustness_weights_downweight_outliers(self):
+        x = np.arange(50, dtype=float)
+        y = np.ones(50)
+        y[25] = 100.0
+        rw = np.ones(50)
+        rw[25] = 1e-9
+        smoothed = loess_smooth(x, y, q=11, robustness_weights=rw)
+        assert abs(smoothed[25] - 1.0) < 0.01
+
+    def test_uniform_fast_path_matches_general_path(self):
+        rng = np.random.default_rng(2)
+        n = 300
+        x = np.arange(n, dtype=float)
+        y = rng.normal(0, 1, n) + np.cos(x / 25)
+        rw = rng.uniform(0.1, 1.0, n)
+        fast = loess_smooth(x, y, q=31, robustness_weights=rw)
+        # break uniformity minimally to force the general path
+        x2 = x.copy()
+        x2[0] -= 1e-7
+        slow = loess_smooth(x2, y, q=31, robustness_weights=rw)
+        assert np.allclose(fast, slow, atol=1e-4)
+
+    def test_q_larger_than_n_degrades_to_global_fit(self):
+        x = np.arange(10, dtype=float)
+        y = 1.5 * x + 1.0
+        smoothed = loess_smooth(x, y, q=100)
+        assert np.allclose(smoothed, y, atol=1e-6)
+
+    def test_rejects_mismatched_inputs(self):
+        with pytest.raises(ValueError):
+            loess_smooth(np.arange(5.0), np.arange(4.0), q=3)
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError, match="degree"):
+            loess_smooth(np.arange(5.0), np.arange(5.0), q=3, degree=2)
+
+    def test_empty_input(self):
+        out = loess_smooth(np.array([]), np.array([]), q=3)
+        assert out.size == 0

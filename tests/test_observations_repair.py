@@ -1,0 +1,145 @@
+"""Unit tests for observation containers, merging and 1-loss repair."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.repair import one_loss_repair, repaired_fraction
+from repro.net.observations import ObservationSeries, merge_observations
+
+
+def series(times, addrs, results, observer="e"):
+    return ObservationSeries(
+        times=np.asarray(times, dtype=float),
+        addresses=np.asarray(addrs, dtype=np.int16),
+        results=np.asarray(results, dtype=bool),
+        observer=observer,
+    )
+
+
+class TestObservationSeries:
+    def test_validates_lengths(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            series([0, 1], [1], [True])
+
+    def test_validates_time_order(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            series([1, 0], [1, 1], [True, True])
+
+    def test_reply_rate(self):
+        s = series([0, 1, 2, 3], [1, 1, 2, 2], [True, False, True, True])
+        assert s.reply_rate() == pytest.approx(0.75)
+
+    def test_reply_rate_empty_is_nan(self):
+        assert np.isnan(series([], [], []).reply_rate())
+
+    def test_reply_rate_by_address(self):
+        s = series([0, 1, 2, 3], [1, 1, 2, 2], [True, False, True, True])
+        rates = s.reply_rate_by_address()
+        assert rates[1] == pytest.approx(0.5)
+        assert rates[2] == pytest.approx(1.0)
+
+    def test_address_view_in_time_order(self):
+        s = series([0, 1, 2], [5, 7, 5], [True, False, False])
+        times, results = s.address_view(5)
+        assert np.array_equal(times, [0, 2])
+        assert np.array_equal(results, [True, False])
+
+    def test_slice_time_half_open(self):
+        s = series([0, 10, 20], [1, 2, 3], [True, True, True])
+        sub = s.slice_time(0, 20)
+        assert len(sub) == 2
+
+
+class TestMerge:
+    def test_merges_in_time_order(self):
+        a = series([0, 10], [1, 1], [True, True], "a")
+        b = series([5, 15], [2, 2], [False, False], "b")
+        merged = merge_observations([a, b])
+        assert np.array_equal(merged.times, [0, 5, 10, 15])
+        assert merged.observer == "merged"
+
+    def test_preserves_provenance(self):
+        a = series([0], [1], [True], "a")
+        b = series([5], [2], [False], "b")
+        merged = merge_observations([a, b])
+        assert merged.source_names == ("a", "b")
+        assert merged.sources.tolist() == [0, 1]
+
+    def test_empty_inputs(self):
+        merged = merge_observations([])
+        assert merged.is_empty
+
+    def test_single_input_passthrough(self):
+        a = series([0, 1], [1, 2], [True, False], "a")
+        merged = merge_observations([a])
+        assert np.array_equal(merged.times, a.times)
+        assert merged.source_names == ("a",)
+
+    def test_stable_for_equal_times(self):
+        a = series([5.0], [1], [True], "a")
+        b = series([5.0], [2], [False], "b")
+        merged = merge_observations([a, b])
+        assert merged.addresses.tolist() == [1, 2]  # input order preserved
+
+
+class TestOneLossRepair:
+    def test_repairs_101_pattern(self):
+        s = series([0, 10, 20], [1, 1, 1], [True, False, True])
+        repaired = one_loss_repair(s)
+        assert repaired.results.all()
+
+    def test_leaves_110_and_011(self):
+        s = series([0, 10, 20, 30, 40, 50], [1, 1, 1, 2, 2, 2],
+                   [True, True, False, False, True, True])
+        repaired = one_loss_repair(s)
+        assert np.array_equal(repaired.results, s.results)
+
+    def test_leaves_back_to_back_losses(self):
+        s = series([0, 10, 20, 30], [1, 1, 1, 1], [True, False, False, True])
+        repaired = one_loss_repair(s)
+        assert np.array_equal(repaired.results, s.results)
+
+    def test_does_not_cross_addresses(self):
+        # the 0 at t=10 belongs to addr 2; its neighbours in time are addr 1
+        s = series([0, 10, 20], [1, 2, 1], [True, False, True])
+        repaired = one_loss_repair(s)
+        assert not repaired.results[1]
+
+    def test_repairs_multiple_independent_holes(self):
+        s = series(
+            [0, 10, 20, 30, 40, 50],
+            [1, 1, 1, 2, 2, 2],
+            [True, False, True, True, False, True],
+        )
+        repaired = one_loss_repair(s)
+        assert repaired.results.all()
+
+    def test_short_series_unchanged(self):
+        s = series([0, 10], [1, 1], [True, False])
+        assert one_loss_repair(s) is s
+
+    def test_original_untouched(self):
+        s = series([0, 10, 20], [1, 1, 1], [True, False, True])
+        one_loss_repair(s)
+        assert not s.results[1]
+
+    def test_repaired_fraction(self):
+        s = series([0, 10, 20, 30], [1, 1, 1, 1], [True, False, True, True])
+        assert repaired_fraction(s) == pytest.approx(0.25)
+
+    def test_repair_recovers_random_loss_statistics(self):
+        rng = np.random.default_rng(0)
+        n = 3000
+        times = np.arange(n, dtype=float)
+        addrs = np.repeat(np.arange(30), 100).astype(np.int16)
+        order = np.argsort(np.tile(np.arange(100), 30), kind="stable")
+        addrs = addrs[order]
+        truth = np.ones(n, dtype=bool)
+        lost = rng.random(n) < 0.1
+        observed = truth & ~lost
+        s = series(times, addrs, observed)
+        repaired = one_loss_repair(s)
+        # isolated losses dominate at 10%, so most should be repaired
+        assert repaired.reply_rate() > 0.97

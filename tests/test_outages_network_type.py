@@ -1,0 +1,157 @@
+"""Unit tests for outage detection and network-type classification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.changes import ChangeEvent
+from repro.core.network_type import (
+    NetworkTypeClassifier,
+    timezone_from_longitude,
+)
+from repro.core.outages import OutageDetector, OutageInterval, corroborate_changes
+from repro.timeseries.series import SECONDS_PER_DAY, TimeSeries
+
+HOUR = 3600.0
+
+
+def hourly_series(values):
+    values = np.asarray(values, dtype=float)
+    return TimeSeries(np.arange(values.size) * HOUR, values)
+
+
+class TestOutageDetector:
+    def _series_with_outage(self, n_days=14, start_h=120, hours=8, level=20.0):
+        values = np.full(24 * n_days, level)
+        values[start_h : start_h + hours] = 0.0
+        return hourly_series(values)
+
+    def test_detects_simple_outage(self):
+        ts = self._series_with_outage()
+        intervals = OutageDetector().detect(ts)
+        assert len(intervals) == 1
+        iv = intervals[0]
+        assert 119 * HOUR <= iv.start_s <= 121 * HOUR
+        assert 6 * HOUR <= iv.duration_s <= 10 * HOUR
+
+    def test_no_outage_on_steady_series(self):
+        assert OutageDetector().detect(hourly_series(np.full(24 * 14, 20.0))) == ()
+
+    def test_dark_blocks_are_not_outages(self):
+        assert OutageDetector().detect(hourly_series(np.zeros(24 * 14))) == ()
+
+    def test_diurnal_troughs_not_flagged(self):
+        t = np.arange(24 * 14)
+        values = 10 + 8 * np.sin(2 * np.pi * t / 24.0)  # dips to 2, not to ~0
+        assert OutageDetector().detect(hourly_series(values)) == ()
+
+    def test_short_blips_ignored(self):
+        detector = OutageDetector(min_duration_s=4 * HOUR)
+        values = np.full(24 * 14, 20.0)
+        values[100] = 0.0  # a single-hour blip
+        assert detector.detect(hourly_series(values)) == ()
+
+    def test_long_declines_are_not_outages(self):
+        # a permanent shutdown longer than max_duration is a *change*
+        values = np.full(24 * 30, 20.0)
+        values[24 * 10 :] = 0.0
+        intervals = OutageDetector().detect(hourly_series(values))
+        assert intervals == ()
+
+    def test_open_ended_outage_within_budget(self):
+        values = np.full(24 * 14, 20.0)
+        values[-30:] = 0.0  # still out at series end (30 h)
+        intervals = OutageDetector().detect(hourly_series(values))
+        assert len(intervals) == 1
+
+    def test_nan_samples_skipped(self):
+        ts = self._series_with_outage()
+        values = ts.values.copy()
+        values[:10] = np.nan
+        intervals = OutageDetector().detect(ts.with_values(values))
+        assert len(intervals) == 1
+
+
+class TestOutageInterval:
+    def test_overlap(self):
+        iv = OutageInterval(100.0, 200.0)
+        assert iv.overlaps(150.0, 300.0)
+        assert iv.overlaps(250.0, 300.0, slack_s=60.0)
+        assert not iv.overlaps(250.0, 300.0)
+
+
+class TestCorroboration:
+    def _event(self, start, end, cause="human-candidate"):
+        return ChangeEvent(
+            time_s=end, start_s=start, end_s=end, direction=-1, magnitude=-2.0, cause=cause
+        )
+
+    def test_overlapping_event_relabelled(self):
+        events = (self._event(90.0, 210.0),)
+        out = corroborate_changes(events, (OutageInterval(100.0, 200.0),), slack_s=0.0)
+        assert out[0].cause == "outage-confirmed"
+
+    def test_distant_event_untouched(self):
+        events = (self._event(1e6, 1e6 + 100),)
+        out = corroborate_changes(events, (OutageInterval(100.0, 200.0),))
+        assert out[0].cause == "human-candidate"
+
+    def test_boundary_transient_not_relabelled(self):
+        events = (self._event(90.0, 210.0, cause="boundary-transient"),)
+        out = corroborate_changes(events, (OutageInterval(100.0, 200.0),))
+        assert out[0].cause == "boundary-transient"
+
+    def test_no_outages_is_identity(self):
+        events = (self._event(0.0, 1.0),)
+        assert corroborate_changes(events, ()) is events
+
+
+class TestNetworkTypeClassifier:
+    def _profile(self, n_days, tz, kind):
+        """Hourly counts for a synthetic workplace or home block."""
+        t = np.arange(24 * n_days)
+        utc_hour = t % 24
+        local_hour = (utc_hour + tz) % 24
+        day = t // 24
+        weekday = day % 7  # epoch_weekday=0
+        if kind == "workplace":
+            active = (9 <= local_hour) & (local_hour < 17) & (weekday < 5)
+            return hourly_series(2.0 + 20.0 * active)
+        active = (18 <= local_hour) & (local_hour < 24)
+        weekend_boost = (weekday >= 5) & (10 <= local_hour) & (local_hour < 24)
+        return hourly_series(1.0 + 15.0 * (active | weekend_boost))
+
+    @pytest.mark.parametrize("tz", [-8.0, 0.0, 8.0])
+    def test_workplace_classified(self, tz):
+        verdict = NetworkTypeClassifier().classify(
+            self._profile(21, tz, "workplace"), tz_hours=tz
+        )
+        assert verdict.is_workplace
+        assert 9 <= verdict.peak_hour < 17
+        assert verdict.weekend_ratio < 0.6
+
+    @pytest.mark.parametrize("tz", [-8.0, 0.0, 8.0])
+    def test_home_classified(self, tz):
+        verdict = NetworkTypeClassifier().classify(
+            self._profile(21, tz, "home"), tz_hours=tz
+        )
+        assert verdict.is_home
+
+    def test_flat_block_is_ambiguous(self):
+        verdict = NetworkTypeClassifier().classify(
+            hourly_series(np.full(24 * 21, 5.0)), tz_hours=0.0
+        )
+        assert verdict.label == "ambiguous"
+
+    def test_short_series_is_ambiguous(self):
+        verdict = NetworkTypeClassifier().classify(
+            self._profile(3, 0.0, "workplace"), tz_hours=0.0
+        )
+        assert verdict.label == "ambiguous"
+        assert verdict.n_days == 0
+
+    def test_timezone_from_longitude(self):
+        assert timezone_from_longitude(0.0) == 0
+        assert timezone_from_longitude(116.4) == 8  # Beijing
+        assert timezone_from_longitude(-118.25) == -8  # Los Angeles

@@ -1,0 +1,230 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.reconstruction import reconstruct
+from repro.core.repair import one_loss_repair
+from repro.net.observations import ObservationSeries, merge_observations
+from repro.timeseries.detect import detect_cusum
+from repro.timeseries.loess import loess_smooth
+from repro.timeseries.naive import naive_decompose
+from repro.timeseries.series import TimeSeries
+from repro.timeseries.stl import stl_decompose
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+@st.composite
+def observation_series(draw, max_len=60):
+    n = draw(st.integers(min_value=0, max_value=max_len))
+    times = np.cumsum(
+        np.asarray(draw(st.lists(st.floats(0.1, 100.0), min_size=n, max_size=n)))
+    )
+    addrs = np.asarray(
+        draw(st.lists(st.integers(0, 7), min_size=n, max_size=n)), dtype=np.int16
+    )
+    results = np.asarray(
+        draw(st.lists(st.booleans(), min_size=n, max_size=n)), dtype=bool
+    )
+    return ObservationSeries(times=times, addresses=addrs, results=results, observer="h")
+
+
+class TestRepairProperties:
+    @given(observation_series())
+    @settings(max_examples=60, deadline=None)
+    def test_repair_only_flips_zero_to_one(self, obs):
+        repaired = one_loss_repair(obs)
+        # monotone: never turns a reply into a non-reply
+        assert not np.any(obs.results & ~repaired.results)
+
+    @given(observation_series())
+    @settings(max_examples=60, deadline=None)
+    def test_repair_is_idempotent(self, obs):
+        once = one_loss_repair(obs)
+        twice = one_loss_repair(once)
+        assert np.array_equal(once.results, twice.results)
+
+    @given(observation_series())
+    @settings(max_examples=60, deadline=None)
+    def test_repair_preserves_times_and_addresses(self, obs):
+        repaired = one_loss_repair(obs)
+        assert np.array_equal(repaired.times, obs.times)
+        assert np.array_equal(repaired.addresses, obs.addresses)
+
+
+class TestMergeProperties:
+    @given(st.lists(observation_series(max_len=25), min_size=0, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_preserves_probe_count(self, series_list):
+        merged = merge_observations(series_list)
+        assert len(merged) == sum(len(s) for s in series_list)
+
+    @given(st.lists(observation_series(max_len=25), min_size=1, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_output_time_ordered(self, series_list):
+        merged = merge_observations(series_list)
+        if len(merged) > 1:
+            assert np.all(np.diff(merged.times) >= 0)
+
+    @given(st.lists(observation_series(max_len=25), min_size=1, max_size=3))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_preserves_reply_totals(self, series_list):
+        merged = merge_observations(series_list)
+        assert merged.results.sum() == sum(s.results.sum() for s in series_list)
+
+
+class TestReconstructionProperties:
+    @given(observation_series(max_len=50))
+    @settings(max_examples=60, deadline=None)
+    def test_counts_bounded_by_eb(self, obs):
+        eb = np.arange(8, dtype=np.int16)
+        grid = np.linspace(0.0, 5000.0, 23)
+        recon = reconstruct(obs, eb, grid)
+        values = recon.counts.values
+        good = np.isfinite(values)
+        if good.any():
+            assert values[good].min() >= 0
+            assert values[good].max() <= eb.size
+
+    @given(observation_series(max_len=50))
+    @settings(max_examples=60, deadline=None)
+    def test_counts_nan_before_completion(self, obs):
+        eb = np.arange(8, dtype=np.int16)
+        grid = np.linspace(0.0, 5000.0, 23)
+        recon = reconstruct(obs, eb, grid)
+        if recon.is_complete:
+            before = grid < recon.complete_time_s
+            assert np.isnan(recon.counts.values[before]).all()
+        else:
+            assert np.isnan(recon.counts.values).all()
+
+    @given(observation_series(max_len=50))
+    @settings(max_examples=30, deadline=None)
+    def test_repair_never_decreases_counts(self, obs):
+        eb = np.arange(8, dtype=np.int16)
+        grid = np.linspace(0.0, 5000.0, 17)
+        plain = reconstruct(obs, eb, grid).counts.values
+        fixed = reconstruct(one_loss_repair(obs), eb, grid).counts.values
+        both = np.isfinite(plain) & np.isfinite(fixed)
+        # 1-loss repair only adds replies, counts can only stay or grow
+        # at probe boundaries; allow equality everywhere
+        assert np.all(fixed[both] >= plain[both] - 1e-9)
+
+
+class TestDecompositionProperties:
+    series_strategy = arrays(
+        np.float64,
+        st.integers(min_value=48, max_value=120),
+        elements=st.floats(-100, 100, allow_nan=False),
+    )
+
+    @given(series_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_stl_exact_additivity(self, values):
+        res = stl_decompose(values, 12, seasonal_smoother=None, outer_iterations=0)
+        assert np.allclose(res.trend + res.seasonal + res.residual, values, atol=1e-6)
+
+    @given(series_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_naive_exact_additivity(self, values):
+        res = naive_decompose(values, 12)
+        assert np.allclose(res.trend + res.seasonal + res.residual, values, atol=1e-6)
+
+    @given(
+        st.floats(-50, 50, allow_nan=False),
+        st.integers(min_value=48, max_value=96),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_stl_constant_series_gives_constant_trend(self, level, n):
+        res = stl_decompose(np.full(n, level), 12, seasonal_smoother=None)
+        assert np.allclose(res.trend, level, atol=1e-6)
+        assert np.allclose(res.seasonal, 0.0, atol=1e-6)
+
+
+class TestCusumProperties:
+    @given(
+        arrays(
+            np.float64,
+            st.integers(min_value=2, max_value=200),
+            elements=st.floats(-10, 10, allow_nan=False),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_alarms_are_ordered_and_in_range(self, values):
+        result = detect_cusum(values, threshold=1.0, drift=0.01)
+        for alarm in result.alarms:
+            assert 0 <= alarm.start <= alarm.alarm < values.size
+            assert alarm.direction in (-1, 1)
+
+    @given(
+        arrays(
+            np.float64,
+            st.integers(min_value=2, max_value=200),
+            elements=st.floats(-10, 10, allow_nan=False),
+        ),
+        st.floats(0.1, 5.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_higher_threshold_never_more_alarms(self, values, threshold):
+        low = detect_cusum(values, threshold=threshold, drift=0.01)
+        high = detect_cusum(values, threshold=threshold * 2, drift=0.01)
+        assert len(high) <= len(low)
+
+    @given(st.floats(-5, 5, allow_nan=False), st.integers(10, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_constant_series_never_alarms(self, level, n):
+        assert len(detect_cusum(np.full(n, level))) == 0
+
+
+class TestLoessProperties:
+    @given(
+        arrays(
+            np.float64,
+            st.integers(min_value=5, max_value=80),
+            elements=st.floats(-100, 100, allow_nan=False),
+        ),
+        st.integers(min_value=2, max_value=30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_output_within_data_hull_for_degree_zero(self, values, q):
+        x = np.arange(values.size, dtype=float)
+        out = loess_smooth(x, values, q, degree=0)
+        assert out.min() >= values.min() - 1e-6
+        assert out.max() <= values.max() + 1e-6
+
+    @given(st.floats(-100, 100, allow_nan=False), st.floats(-10, 10, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_linear_invariance(self, intercept, slope):
+        x = np.arange(40, dtype=float)
+        y = intercept + slope * x
+        out = loess_smooth(x, y, q=11, degree=1)
+        assert np.allclose(out, y, atol=max(1e-6, 1e-9 * abs(intercept)))
+
+
+class TestTimeSeriesProperties:
+    @given(
+        st.lists(st.floats(0.1, 100, allow_nan=False), min_size=1, max_size=50),
+        st.floats(0, 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_zscore_bounded_mean(self, deltas, _):
+        times = np.cumsum(np.asarray(deltas))
+        values = np.sin(times)
+        z = TimeSeries(times, values).zscore()
+        good = np.isfinite(z.values)
+        if good.any():
+            assert abs(z.values[good].mean()) < 1e-6
+
+    @given(st.lists(st.floats(0.1, 100, allow_nan=False), min_size=2, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_resample_mean_preserves_total_mass_roughly(self, deltas):
+        times = np.cumsum(np.asarray(deltas))
+        values = np.ones_like(times)
+        hourly = TimeSeries(times, values).resample_mean(3600.0)
+        good = np.isfinite(hourly.values)
+        assert np.allclose(hourly.values[good], 1.0)

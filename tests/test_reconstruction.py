@@ -1,0 +1,118 @@
+"""Unit tests for address reconstruction and full-scan durations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.reconstruction import full_scan_durations, reconstruct
+from repro.net.observations import ObservationSeries
+
+
+def series(times, addrs, results):
+    return ObservationSeries(
+        times=np.asarray(times, dtype=float),
+        addresses=np.asarray(addrs, dtype=np.int16),
+        results=np.asarray(results, dtype=bool),
+    )
+
+
+class TestReconstruct:
+    def test_paper_toy_example(self):
+        """The Figure 2 table (also covered by the fig2 experiment)."""
+        from repro.experiments.fig2 import EXPECTED_ESTIMATES, run
+
+        assert run().estimates == EXPECTED_ESTIMATES
+
+    def test_incomplete_until_all_seen(self):
+        eb = np.array([1, 2, 3], dtype=np.int16)
+        obs = series([0, 10], [1, 2], [True, True])  # address 3 never probed
+        recon = reconstruct(obs, eb, np.array([0.0, 10.0, 20.0]))
+        assert not recon.is_complete
+        assert np.isnan(recon.counts.values).all()
+
+    def test_complete_time_is_last_first_sighting(self):
+        eb = np.array([1, 2], dtype=np.int16)
+        obs = series([0, 100], [1, 2], [True, True])
+        recon = reconstruct(obs, eb, np.array([0.0, 50.0, 150.0]))
+        assert recon.complete_time_s == pytest.approx(100.0)
+        assert np.isnan(recon.counts.values[0])
+        assert recon.counts.values[2] == pytest.approx(2.0)
+
+    def test_holds_last_state(self):
+        eb = np.array([1], dtype=np.int16)
+        obs = series([0, 100], [1, 1], [True, False])
+        recon = reconstruct(obs, eb, np.array([0.0, 50.0, 150.0]))
+        assert recon.counts.values[1] == pytest.approx(1.0)  # held between probes
+        assert recon.counts.values[2] == pytest.approx(0.0)
+
+    def test_ignores_addresses_outside_eb(self):
+        eb = np.array([1], dtype=np.int16)
+        obs = series([0, 1], [1, 99], [True, True])
+        recon = reconstruct(obs, eb, np.array([5.0]))
+        assert recon.counts.values[0] == pytest.approx(1.0)
+
+    def test_empty_observation(self):
+        recon = reconstruct(series([], [], []), np.array([1, 2]), np.array([0.0, 1.0]))
+        assert not recon.is_complete
+
+    def test_all_negative_probes_give_zero(self):
+        eb = np.array([1, 2], dtype=np.int16)
+        obs = series([0, 1], [1, 2], [False, False])
+        recon = reconstruct(obs, eb, np.array([10.0]))
+        assert recon.counts.values[0] == pytest.approx(0.0)
+
+    def test_max_count_property(self):
+        eb = np.array([1, 2], dtype=np.int16)
+        obs = series([0, 1, 50], [1, 2, 2], [True, True, False])
+        recon = reconstruct(obs, eb, np.array([2.0, 60.0]))
+        assert recon.max_count == pytest.approx(2.0)
+
+    def test_matches_truth_under_dense_probing(self, workplace_block):
+        _, truth, _, _ = workplace_block
+        from repro.net.survey import SurveyObserver
+
+        log = SurveyObserver().observe(truth)
+        recon = reconstruct(log, truth.addresses, truth.col_times)
+        good = ~np.isnan(recon.counts.values)
+        true_counts = truth.counts()
+        # dense probing tracks the truth within one round of lag
+        diff = np.abs(recon.counts.values[good] - true_counts[good])
+        assert np.quantile(diff, 0.95) <= truth.n_addresses * 0.05 + 2
+
+
+class TestFullScanDurations:
+    def test_round_robin_scan_time(self):
+        # 4 addresses probed round-robin every 10 s: each full scan spans 30 s
+        eb = np.array([0, 1, 2, 3], dtype=np.int16)
+        times = np.arange(12) * 10.0
+        addrs = np.tile(eb, 3)
+        obs = series(times, addrs, np.ones(12, dtype=bool))
+        durations = full_scan_durations(obs, eb)
+        assert durations[0] == pytest.approx(30.0)
+
+    def test_never_covered_returns_empty(self):
+        eb = np.array([0, 1], dtype=np.int16)
+        obs = series([0, 1], [0, 0], [True, True])
+        assert full_scan_durations(obs, eb).size == 0
+
+    def test_max_scans_limits_output(self):
+        eb = np.array([0, 1], dtype=np.int16)
+        times = np.arange(20, dtype=float)
+        addrs = np.tile(eb, 10)
+        obs = series(times, addrs, np.ones(20, dtype=bool))
+        assert full_scan_durations(obs, eb, max_scans=3).size == 3
+
+    def test_more_observers_scan_faster(self, workplace_block):
+        from repro.net.observations import merge_observations
+        from repro.net.prober import TrinocularObserver
+
+        _, truth, order, log1 = workplace_block
+        log2 = TrinocularObserver("j", phase_offset_s=300.0).observe(
+            truth, order, rng=np.random.default_rng(8)
+        )
+        solo = full_scan_durations(log1, truth.addresses, max_scans=10)
+        both = full_scan_durations(
+            merge_observations([log1, log2]), truth.addresses, max_scans=10
+        )
+        assert np.median(both) < np.median(solo)

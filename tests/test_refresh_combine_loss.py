@@ -1,0 +1,185 @@
+"""Unit tests for refresh modelling, observer comparison, and loss models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.combine import compare_observers, flag_outlier_observers
+from repro.core.refresh import (
+    FbsLogisticModel,
+    estimate_fbs_hours,
+    probes_per_round_for_target,
+    select_for_additional_probing,
+)
+from repro.net.loss import BernoulliLoss, DiurnalCongestionLoss, NoLoss
+from repro.net.observations import ObservationSeries
+
+
+class TestFbsEstimate:
+    def test_dense_block_is_slow(self):
+        # 256 always-responding addresses: one probe per round -> 256 rounds
+        hours = estimate_fbs_hours(256, 1.0)
+        assert hours == pytest.approx(256 * 660 / 3600, rel=0.01)
+
+    def test_sparse_block_is_fast(self):
+        # nothing responds: 15 probes per round
+        hours = estimate_fbs_hours(256, 1e-6)
+        assert hours == pytest.approx(256 / 15 * 660 / 3600, rel=0.05)
+
+    def test_monotone_in_availability(self):
+        a = np.linspace(0.01, 0.99, 20)
+        hours = estimate_fbs_hours(np.full(20, 128), a)
+        assert np.all(np.diff(hours) >= -1e-9)
+
+    def test_monotone_in_size(self):
+        sizes = np.arange(16, 257, 16)
+        hours = estimate_fbs_hours(sizes, np.full(sizes.size, 0.5))
+        assert np.all(np.diff(hours) > 0)
+
+
+class TestLogisticModel:
+    def _training_data(self, n=400, seed=0):
+        rng = np.random.default_rng(seed)
+        eb = rng.integers(8, 257, n)
+        a = rng.uniform(0.0, 1.0, n)
+        fbs = estimate_fbs_hours(eb, a) * rng.lognormal(0, 0.15, n)
+        return eb.astype(float), a, fbs
+
+    def test_fits_and_predicts(self):
+        eb, a, fbs = self._training_data()
+        model = FbsLogisticModel().fit(eb, a, fbs)
+        predicted = model.predict(eb, a)
+        truth = fbs > 6.0
+        assert (predicted == truth).mean() > 0.85
+
+    def test_false_negative_rate_low(self):
+        eb, a, fbs = self._training_data()
+        model = FbsLogisticModel().fit(eb, a, fbs)
+        assert model.false_negative_rate(eb, a, fbs) < 0.1
+
+    def test_probability_monotone_in_availability(self):
+        eb, a, fbs = self._training_data()
+        model = FbsLogisticModel().fit(eb, a, fbs)
+        probs = model.predict_probability(np.full(10, 200.0), np.linspace(0, 1, 10))
+        assert probs[-1] > probs[0]
+
+    def test_unfitted_model_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            FbsLogisticModel().predict(np.array([100.0]), np.array([0.5]))
+
+    def test_degenerate_labels(self):
+        model = FbsLogisticModel().fit(
+            np.array([10.0, 20.0]), np.array([0.1, 0.2]), np.array([1.0, 2.0])
+        )
+        assert not model.predict(np.array([100.0]), np.array([0.9]))[0]
+
+
+class TestSelection:
+    def test_origin_blocks_skipped(self):
+        eb, a, fbs = np.array([16.0, 200.0]), np.array([0.9, 0.01]), None
+        model = FbsLogisticModel()
+        model.coefficients = np.array([50.0, 0.0, 0.0])  # predicts "slow" always
+        selected = select_for_additional_probing(eb, a, model)
+        assert not selected[0]  # |E(b)| < 32
+        assert not selected[1]  # A < 0.05
+
+    def test_eligible_slow_blocks_selected(self):
+        model = FbsLogisticModel()
+        model.coefficients = np.array([50.0, 0.0, 0.0])
+        selected = select_for_additional_probing(
+            np.array([200.0]), np.array([0.9]), model
+        )
+        assert selected[0]
+
+
+class TestProbeBudget:
+    def test_full_block_needs_eight(self):
+        assert probes_per_round_for_target(256) == 8
+
+    def test_small_block_needs_one(self):
+        assert probes_per_round_for_target(20) == 1
+
+    def test_budget_meets_target(self):
+        for eb in (32, 64, 100, 200, 256):
+            n = probes_per_round_for_target(eb, target_hours=6.0)
+            rounds = np.ceil(eb / n)
+            assert rounds * 660.0 <= 6.05 * 3600.0 or n == 8
+
+
+class TestObserverComparison:
+    def _series(self, observer, rate, n=200, seed=0):
+        rng = np.random.default_rng(seed)
+        return ObservationSeries(
+            times=np.arange(n, dtype=float),
+            addresses=np.zeros(n, dtype=np.int16),
+            results=rng.random(n) < rate,
+            observer=observer,
+        )
+
+    def test_deviation_from_median(self):
+        series = [
+            self._series("e", 0.6, seed=1),
+            self._series("j", 0.6, seed=2),
+            self._series("w", 0.3, seed=3),
+        ]
+        health = compare_observers(series)
+        by_name = {h.observer: h for h in health}
+        assert by_name["w"].suspicious
+        assert not by_name["e"].suspicious
+
+    def test_flag_outlier_across_blocks(self):
+        per_block = []
+        for blk in range(6):
+            per_block.append(
+                compare_observers(
+                    [
+                        self._series("e", 0.6, seed=10 + blk),
+                        self._series("j", 0.6, seed=20 + blk),
+                        self._series("c", 0.2, seed=30 + blk),
+                    ]
+                )
+            )
+        assert flag_outlier_observers(per_block) == {"c"}
+
+    def test_no_flags_when_healthy(self):
+        per_block = [
+            compare_observers(
+                [self._series("e", 0.6, seed=k), self._series("j", 0.6, seed=50 + k)]
+            )
+            for k in range(6)
+        ]
+        assert flag_outlier_observers(per_block) == set()
+
+
+class TestLossModels:
+    def test_no_loss(self):
+        assert NoLoss().loss_probability(np.arange(5)).max() == 0.0
+        assert NoLoss().max_probability() == 0.0
+
+    def test_bernoulli_constant(self):
+        model = BernoulliLoss(0.1)
+        assert np.all(model.loss_probability(np.arange(10)) == 0.1)
+
+    def test_bernoulli_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliLoss(1.5)
+
+    def test_diurnal_peaks_at_peak_hour(self):
+        model = DiurnalCongestionLoss(base=0.01, peak=0.4, peak_hour=21.0, tz_hours=0.0)
+        t_peak = 21 * 3600.0
+        t_off = 9 * 3600.0
+        assert model.loss_probability(np.array([t_peak]))[0] == pytest.approx(0.4)
+        assert model.loss_probability(np.array([t_off]))[0] == pytest.approx(0.01)
+
+    def test_diurnal_respects_timezone(self):
+        model = DiurnalCongestionLoss(peak_hour=21.0, tz_hours=8.0)
+        # local 21:00 at UTC+8 is 13:00 UTC
+        utc_13 = 13 * 3600.0
+        assert model.loss_probability(np.array([utc_13]))[0] == pytest.approx(
+            model.peak
+        )
+
+    def test_diurnal_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalCongestionLoss(base=0.5, peak=0.1)

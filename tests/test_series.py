@@ -1,0 +1,146 @@
+"""Unit tests for repro.timeseries.series.TimeSeries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.timeseries.series import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    TimeSeries,
+    day_index,
+    second_of_day,
+)
+
+
+def make(times, values) -> TimeSeries:
+    return TimeSeries(np.asarray(times, dtype=float), np.asarray(values, dtype=float))
+
+
+class TestConstruction:
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="equal length"):
+            make([0, 1, 2], [1, 2])
+
+    def test_rejects_non_increasing_times(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            make([0, 2, 2], [1, 2, 3])
+
+    def test_rejects_two_dimensional_input(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            TimeSeries(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_empty_series_is_allowed(self):
+        ts = make([], [])
+        assert ts.is_empty
+        assert len(ts) == 0
+        assert ts.duration == 0.0
+
+    def test_duration_spans_first_to_last(self):
+        assert make([10, 20, 50], [0, 0, 0]).duration == 40.0
+
+
+class TestBasicOps:
+    def test_with_values_keeps_times(self):
+        ts = make([0, 1, 2], [1, 2, 3])
+        other = ts.with_values(np.array([9.0, 9.0, 9.0]))
+        assert np.array_equal(other.times, ts.times)
+        assert np.all(other.values == 9.0)
+
+    def test_dropna_removes_only_nans(self):
+        ts = make([0, 1, 2, 3], [1, np.nan, 3, np.nan])
+        clean = ts.dropna()
+        assert np.array_equal(clean.times, [0, 2])
+        assert np.array_equal(clean.values, [1, 3])
+
+    def test_slice_time_is_half_open(self):
+        ts = make([0, 10, 20, 30], [0, 1, 2, 3])
+        sliced = ts.slice_time(10, 30)
+        assert np.array_equal(sliced.times, [10, 20])
+
+
+class TestResampling:
+    def test_resample_mean_averages_within_bins(self):
+        ts = make([0, 100, 3700], [2.0, 4.0, 10.0])
+        hourly = ts.resample_mean(SECONDS_PER_HOUR)
+        assert hourly.values[0] == pytest.approx(3.0)
+        assert hourly.values[1] == pytest.approx(10.0)
+
+    def test_resample_mean_marks_empty_bins_nan(self):
+        ts = make([0, 2 * SECONDS_PER_HOUR + 1], [1.0, 5.0])
+        hourly = ts.resample_mean(SECONDS_PER_HOUR)
+        assert np.isnan(hourly.values[1])
+
+    def test_resample_ignores_nan_samples(self):
+        ts = make([0, 100], [np.nan, 6.0])
+        hourly = ts.resample_mean(SECONDS_PER_HOUR)
+        assert hourly.values[0] == pytest.approx(6.0)
+
+    def test_interpolate_nan_fills_interior(self):
+        ts = make([0, 1, 2, 3], [0.0, np.nan, np.nan, 3.0])
+        filled = ts.interpolate_nan()
+        assert np.allclose(filled.values, [0, 1, 2, 3])
+
+    def test_interpolate_nan_holds_edges_flat(self):
+        ts = make([0, 1, 2], [np.nan, 2.0, np.nan])
+        filled = ts.interpolate_nan()
+        assert np.allclose(filled.values, [2.0, 2.0, 2.0])
+
+
+class TestDailyWindows:
+    def test_daily_swing_per_utc_day(self):
+        times = [0, 3600, SECONDS_PER_DAY + 10, SECONDS_PER_DAY + 7200]
+        ts = make(times, [1.0, 5.0, 10.0, 4.0])
+        days, swings = ts.daily_swing()
+        assert list(days) == [0, 1]
+        assert swings[0] == pytest.approx(4.0)
+        assert swings[1] == pytest.approx(6.0)
+
+    def test_daily_groups_skip_all_nan_days(self):
+        ts = make([0, SECONDS_PER_DAY], [np.nan, 2.0])
+        groups = ts.daily_groups()
+        assert 0 not in groups
+        assert 1 in groups
+
+
+class TestStatistics:
+    def test_zscore_normalizes(self):
+        ts = make(np.arange(5), [1.0, 2.0, 3.0, 4.0, 5.0])
+        z = ts.zscore()
+        assert z.values.mean() == pytest.approx(0.0, abs=1e-12)
+        assert z.values.std() == pytest.approx(1.0)
+
+    def test_zscore_constant_becomes_zero(self):
+        z = make(np.arange(4), [7.0] * 4).zscore()
+        assert np.allclose(z.values, 0.0)
+
+    def test_pearson_identity(self):
+        ts = make(np.arange(10), np.random.default_rng(0).normal(size=10))
+        assert ts.pearson(ts) == pytest.approx(1.0)
+
+    def test_pearson_requires_same_grid(self):
+        a = make([0, 1, 2], [1, 2, 3])
+        b = make([0, 1], [1, 2])
+        with pytest.raises(ValueError, match="time grid"):
+            a.pearson(b)
+
+    def test_pearson_ignores_nan_pairs(self):
+        a = make([0, 1, 2, 3], [1.0, np.nan, 3.0, 4.0])
+        b = make([0, 1, 2, 3], [2.0, 5.0, 6.0, 8.0])
+        assert np.isfinite(a.pearson(b))
+
+
+class TestDayHelpers:
+    def test_day_index(self):
+        assert day_index(0.0) == 0
+        assert day_index(SECONDS_PER_DAY - 1) == 0
+        assert day_index(SECONDS_PER_DAY) == 1
+
+    def test_day_index_with_offset(self):
+        # an epoch 6 hours into the UTC day
+        assert day_index(0.0, epoch_offset=6 * 3600) == 0
+        assert day_index(19 * 3600, epoch_offset=6 * 3600) == 1
+
+    def test_second_of_day_wraps(self):
+        assert second_of_day(SECONDS_PER_DAY + 5) == pytest.approx(5.0)

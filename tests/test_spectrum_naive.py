@@ -1,0 +1,91 @@
+"""Unit tests for the periodogram helpers and naive decomposition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.timeseries.naive import naive_decompose
+from repro.timeseries.series import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.timeseries.spectrum import diurnal_energy_ratio, periodogram
+
+
+class TestPeriodogram:
+    def test_pure_diurnal_sine_concentrates_power(self):
+        n = 24 * 14
+        t = np.arange(n) * 3600.0
+        y = np.sin(2 * np.pi * t / SECONDS_PER_DAY)
+        pg = periodogram(y, SECONDS_PER_HOUR)
+        diurnal = pg.power_near(1.0 / SECONDS_PER_DAY)
+        assert diurnal / pg.total_power > 0.99
+
+    def test_dc_excluded_from_total(self):
+        y = np.full(100, 5.0)
+        pg = periodogram(y, SECONDS_PER_HOUR)
+        assert pg.total_power == pytest.approx(0.0, abs=1e-12)
+
+    def test_nan_handling(self):
+        n = 24 * 7
+        y = np.sin(2 * np.pi * np.arange(n) / 24.0)
+        y[10:14] = np.nan
+        pg = periodogram(y, SECONDS_PER_HOUR)
+        assert np.isfinite(pg.total_power)
+
+    def test_power_near_out_of_range_frequency(self):
+        pg = periodogram(np.sin(np.arange(48.0)), SECONDS_PER_HOUR)
+        assert pg.power_near(1.0) == 0.0  # 1 Hz is far beyond Nyquist here
+
+
+class TestDiurnalRatio:
+    def test_diurnal_signal_scores_high(self):
+        n = 24 * 14
+        t = np.arange(n) * 3600.0
+        y = 3 + np.sin(2 * np.pi * t / SECONDS_PER_DAY)
+        assert diurnal_energy_ratio(y, SECONDS_PER_HOUR) > 0.9
+
+    def test_square_wave_harmonics_counted(self):
+        n = 24 * 14
+        hours = np.arange(n) % 24
+        y = (hours < 10).astype(float) * 8
+        assert diurnal_energy_ratio(y, SECONDS_PER_HOUR, harmonics=4) > 0.8
+
+    def test_white_noise_scores_low(self):
+        rng = np.random.default_rng(0)
+        y = rng.normal(0, 1, 24 * 28)
+        assert diurnal_energy_ratio(y, SECONDS_PER_HOUR) < 0.3
+
+    def test_flat_series_scores_zero(self):
+        assert diurnal_energy_ratio(np.full(200, 3.0), SECONDS_PER_HOUR) == 0.0
+
+
+class TestNaiveDecomposition:
+    def test_components_sum(self):
+        rng = np.random.default_rng(1)
+        y = 10 + 3 * np.sin(2 * np.pi * np.arange(24 * 10) / 24) + rng.normal(0, 0.2, 240)
+        res = naive_decompose(y, 24)
+        assert np.allclose(res.trend + res.seasonal + res.residual, y, atol=1e-9)
+
+    def test_seasonal_is_zero_mean(self):
+        y = 5 + np.sin(2 * np.pi * np.arange(24 * 10) / 24)
+        res = naive_decompose(y, 24)
+        assert res.seasonal[:24].mean() == pytest.approx(0.0, abs=1e-9)
+
+    def test_seasonal_is_periodic(self):
+        y = 5 + np.sin(2 * np.pi * np.arange(24 * 10) / 24)
+        res = naive_decompose(y, 24)
+        assert np.allclose(res.seasonal[:24], res.seasonal[24:48])
+
+    def test_odd_period(self):
+        y = np.tile(np.arange(7.0), 10)
+        res = naive_decompose(y, 7)
+        assert np.allclose(res.trend, 3.0, atol=0.5)
+
+    def test_rejects_short_input(self):
+        with pytest.raises(ValueError):
+            naive_decompose(np.ones(20), 24)
+
+    def test_rejects_nan(self):
+        y = np.ones(100)
+        y[3] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            naive_decompose(y, 10)

@@ -1,0 +1,87 @@
+"""Unit tests for the STL decomposition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.timeseries.stl import stl_decompose
+
+
+def diurnal_series(n_days=21, amplitude=5.0, level=12.0, noise=0.3, seed=0):
+    rng = np.random.default_rng(seed)
+    n = 24 * n_days
+    t = np.arange(n)
+    seasonal = amplitude * np.sin(2 * np.pi * t / 24.0)
+    return level + seasonal + rng.normal(0, noise, n), seasonal
+
+
+class TestDecomposition:
+    def test_components_sum_to_input(self):
+        y, _ = diurnal_series()
+        res = stl_decompose(y, 24)
+        assert np.allclose(res.trend + res.seasonal + res.residual, y, atol=1e-9)
+
+    def test_recovers_flat_trend(self):
+        y, _ = diurnal_series(level=12.0)
+        res = stl_decompose(y, 24)
+        assert np.abs(res.trend - 12.0).max() < 0.8
+
+    def test_recovers_seasonal_shape(self):
+        y, seasonal = diurnal_series(noise=0.1)
+        res = stl_decompose(y, 24)
+        inner = slice(48, -48)
+        assert np.corrcoef(res.seasonal[inner], seasonal[inner])[0, 1] > 0.99
+
+    def test_tracks_step_change(self):
+        y, _ = diurnal_series(n_days=28)
+        y[24 * 14 :] -= 6.0
+        res = stl_decompose(y, 24)
+        assert res.trend[: 24 * 10].mean() - res.trend[24 * 18 :].mean() > 4.0
+
+    def test_periodic_seasonal_is_strictly_periodic(self):
+        y, _ = diurnal_series()
+        res = stl_decompose(y, 24, seasonal_smoother=None)
+        week1 = res.seasonal[:24]
+        week2 = res.seasonal[24:48]
+        assert np.allclose(week1, week2, atol=1e-9)
+
+    def test_robustness_downweights_outliers(self):
+        y, _ = diurnal_series(noise=0.1)
+        y[100] += 80.0
+        res = stl_decompose(y, 24, outer_iterations=2)
+        assert res.robustness_weights[100] < 0.1
+        # the outlier lands in the residual, not the trend
+        assert abs(res.trend[100] - 12.0) < 1.5
+
+    def test_weekly_period_supported(self):
+        rng = np.random.default_rng(3)
+        n = 168 * 4
+        t = np.arange(n)
+        y = 10 + 3 * np.sin(2 * np.pi * t / 168) + rng.normal(0, 0.2, n)
+        res = stl_decompose(y, 168, seasonal_smoother=None)
+        assert np.abs(res.trend - 10).max() < 1.0
+
+
+class TestValidation:
+    def test_rejects_nan(self):
+        y = np.ones(100)
+        y[5] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            stl_decompose(y, 24)
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValueError, match="two periods"):
+            stl_decompose(np.ones(30), 24)
+
+    def test_rejects_tiny_period(self):
+        with pytest.raises(ValueError, match="period"):
+            stl_decompose(np.ones(100), 1)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            stl_decompose(np.ones((10, 10)), 2)
+
+    def test_rejects_bad_seasonal_smoother(self):
+        with pytest.raises(ValueError, match="seasonal_smoother"):
+            stl_decompose(np.ones(100), 24, seasonal_smoother=1)

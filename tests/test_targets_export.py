@@ -1,0 +1,140 @@
+"""Unit tests for target-list retraining and result export."""
+
+from __future__ import annotations
+
+import io
+import json
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.core.aggregate import BlockRecord, GridAggregator
+from repro.datasets.targets import TargetList, TargetListManager
+from repro.export import blocks_csv, gridcell_csv, gridcell_geojson
+from repro.net.events import Calendar
+from repro.net.geo import GeoInfo
+from repro.net.observations import ObservationSeries
+from repro.net.usage import BlockTruth
+
+
+def obs(addrs, results):
+    n = len(addrs)
+    return ObservationSeries(
+        times=np.arange(n, dtype=float),
+        addresses=np.asarray(addrs, dtype=np.int16),
+        results=np.asarray(results, dtype=bool),
+    )
+
+
+class TestTargetList:
+    def test_addresses_sorted_unique(self):
+        tl = TargetList(addresses=np.array([5, 1, 5, 3], dtype=np.int16), quarter=0)
+        assert tl.addresses.tolist() == [1, 3, 5]
+        assert len(tl) == 3
+
+    def test_contains(self):
+        tl = TargetList(addresses=np.array([1, 3, 5], dtype=np.int16), quarter=0)
+        assert tl.contains(3)
+        assert not tl.contains(4)
+        assert not tl.contains(200)
+
+
+class TestTargetListManager:
+    def test_responders_stay(self):
+        manager = TargetListManager()
+        tl = TargetList(addresses=np.array([1, 2], dtype=np.int16), quarter=0)
+        refreshed = manager.refresh(tl, obs([1, 2], [True, True]))
+        assert refreshed.addresses.tolist() == [1, 2]
+        assert refreshed.quarter == 1
+
+    def test_silent_addresses_survive_until_expiry(self):
+        manager = TargetListManager(expire_after_quarters=2)
+        tl = TargetList(addresses=np.array([1, 2], dtype=np.int16), quarter=0)
+        once = manager.refresh(tl, obs([1, 2], [True, False]))
+        assert once.contains(2)  # silent one quarter: still targeted
+        twice = manager.refresh(once, obs([1, 2], [True, False]))
+        assert not twice.contains(2)  # expired
+        assert twice.contains(1)
+
+    def test_sweep_rediscovers_new_addresses(self):
+        manager = TargetListManager()
+        tl = TargetList(addresses=np.array([1], dtype=np.int16), quarter=0)
+        refreshed = manager.refresh(
+            tl, obs([1], [True]), sweep_responders=np.array([7, 9], dtype=np.int16)
+        )
+        assert refreshed.contains(7)
+        assert refreshed.contains(9)
+
+    def test_reply_resets_silence_counter(self):
+        manager = TargetListManager(expire_after_quarters=2)
+        tl = TargetList(addresses=np.array([1], dtype=np.int16), quarter=0)
+        tl = manager.refresh(tl, obs([1], [False]))  # silent once
+        tl = manager.refresh(tl, obs([1], [True]))  # replies: reset
+        tl = manager.refresh(tl, obs([1], [False]))  # silent once again
+        assert tl.contains(1)
+
+    def test_sweep_reads_truth_column(self):
+        truth = BlockTruth(
+            addresses=np.array([1, 2, 3], dtype=np.int16),
+            active=np.array([[True, False], [False, True], [True, True]]),
+            col_times=np.array([0.0, 660.0]),
+        )
+        manager = TargetListManager()
+        assert sorted(manager.sweep(truth, 0.0).tolist()) == [1, 3]
+        assert sorted(manager.sweep(truth, 700.0).tolist()) == [2, 3]
+
+    def test_initial_list_from_truth(self):
+        truth = BlockTruth(
+            addresses=np.array([4, 9], dtype=np.int16),
+            active=np.zeros((2, 3), dtype=bool),
+            col_times=np.arange(3) * 660.0,
+        )
+        tl = TargetListManager().initial_list(truth)
+        assert tl.addresses.tolist() == [4, 9]
+
+
+def _aggregator():
+    agg = GridAggregator(min_responsive=1, min_change_sensitive=1)
+    geo = GeoInfo(lat=30.5, lon=114.5, country="China", continent="Asia", city="Wuhan")
+    agg.add(BlockRecord(geo=geo, responsive=True, change_sensitive=True, downward_days=(3, 5)))
+    agg.add(BlockRecord(geo=geo, responsive=True, change_sensitive=True, downward_days=(3,)))
+    return agg
+
+
+class TestExport:
+    def test_gridcell_csv(self):
+        buffer = io.StringIO()
+        rows = gridcell_csv(_aggregator(), buffer, first_day=0, n_days=10)
+        lines = buffer.getvalue().strip().splitlines()
+        assert rows == 2  # days 3 and 5 have activity
+        assert lines[0].startswith("cell_lat,cell_lon")
+        day3 = [l for l in lines if ",3," in l][0]
+        assert "1.0" in day3  # both blocks down on day 3
+
+    def test_gridcell_geojson(self):
+        buffer = io.StringIO()
+        count = gridcell_geojson(_aggregator(), buffer)
+        payload = json.loads(buffer.getvalue())
+        assert count == 1
+        assert payload["type"] == "FeatureCollection"
+        feature = payload["features"][0]
+        assert feature["properties"]["change_sensitive_blocks"] == 2
+        ring = feature["geometry"]["coordinates"][0]
+        assert ring[0] == [114, 30]
+
+    def test_blocks_csv(self):
+        geo = GeoInfo(lat=1.0, lon=2.0, country="X", continent="Asia", city="Y")
+        records = [
+            BlockRecord(geo=geo, responsive=True, change_sensitive=False),
+            BlockRecord(geo=geo, responsive=False, change_sensitive=False),
+        ]
+        buffer = io.StringIO()
+        assert blocks_csv(records, buffer) == 2
+        lines = buffer.getvalue().strip().splitlines()
+        assert len(lines) == 3
+
+    def test_path_destinations(self, tmp_path):
+        target = tmp_path / "cells.csv"
+        gridcell_csv(_aggregator(), target, first_day=0, n_days=10)
+        assert target.read_text().startswith("cell_lat")

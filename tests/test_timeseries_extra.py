@@ -1,0 +1,78 @@
+"""Deeper coverage of the time-series substrate's parameters."""
+
+from __future__ import annotations
+
+import doctest
+
+import numpy as np
+import pytest
+
+from repro.timeseries.detect import detect_cusum
+from repro.timeseries.stl import stl_decompose
+
+
+def diurnal(n_days=14, seed=0, noise=0.2):
+    rng = np.random.default_rng(seed)
+    t = np.arange(24 * n_days)
+    return 10 + 4 * np.sin(2 * np.pi * t / 24) + rng.normal(0, noise, t.size)
+
+
+class TestStlParameters:
+    def test_trend_smoother_override_smooths_more(self):
+        y = diurnal(28)
+        y[24 * 14 :] -= 5.0
+        sharp = stl_decompose(y, 24, trend_smoother=25).trend
+        smooth = stl_decompose(y, 24, trend_smoother=401).trend
+        # a larger trend window spreads the step over more samples
+        sharp_step = np.abs(np.diff(sharp)).max()
+        smooth_step = np.abs(np.diff(smooth)).max()
+        assert smooth_step < sharp_step
+
+    def test_low_pass_override_accepted(self):
+        res = stl_decompose(diurnal(), 24, low_pass_smoother=31)
+        assert np.isfinite(res.trend).all()
+
+    def test_more_inner_iterations_converge(self):
+        y = diurnal()
+        one = stl_decompose(y, 24, inner_iterations=1, outer_iterations=0)
+        five = stl_decompose(y, 24, inner_iterations=5, outer_iterations=0)
+        # both decompose exactly; the seasonal estimates stay close
+        assert np.abs(one.seasonal - five.seasonal).mean() < 0.5
+
+    def test_zero_outer_iterations_unit_weights(self):
+        res = stl_decompose(diurnal(), 24, outer_iterations=0)
+        assert np.all(res.robustness_weights == 1.0)
+
+    def test_seasonal_smoother_loess_vs_periodic(self):
+        y = diurnal(noise=0.05)
+        periodic = stl_decompose(y, 24, seasonal_smoother=None)
+        loess = stl_decompose(y, 24, seasonal_smoother=11)
+        # similar seasonal shapes on a stationary cycle
+        inner = slice(48, -48)
+        r = np.corrcoef(periodic.seasonal[inner], loess.seasonal[inner])[0, 1]
+        assert r > 0.98
+
+
+class TestCusumEndings:
+    def test_without_ending_estimation_end_is_alarm(self):
+        y = np.concatenate([np.zeros(100), np.full(100, -3.0)])
+        result = detect_cusum(y, 1.0, 0.01, estimate_ending=False)
+        for alarm in result.alarms:
+            assert alarm.end == alarm.alarm
+
+    def test_with_ending_estimation_end_extends(self):
+        rng = np.random.default_rng(4)
+        ramp = np.concatenate([np.zeros(100), np.linspace(0, -4, 40), np.full(100, -4.0)])
+        y = ramp + rng.normal(0, 0.05, ramp.size)
+        result = detect_cusum(y, 1.0, 0.01, estimate_ending=True)
+        down = result.downward
+        assert down
+        assert any(a.end > a.alarm for a in down)
+
+
+class TestDoctests:
+    def test_addresses_doctests(self):
+        import repro.net.addresses as module
+
+        failures, _ = doctest.testmod(module)
+        assert failures == 0

@@ -1,0 +1,139 @@
+"""Unit tests for trend extraction and CUSUM change classification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.changes import ChangeDetector
+from repro.core.trend import TrendExtractor
+from repro.timeseries.series import SECONDS_PER_DAY, TimeSeries
+
+
+def step_counts(n_days=42, drop_day=28, high=20.0, low=4.0, seed=0):
+    """Hourly diurnal counts with the diurnal pattern vanishing at drop_day."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(24 * n_days)
+    day = t // 24
+    wave = np.maximum(np.sin(2 * np.pi * (t % 24) / 24.0), 0.0)
+    values = np.where(day < drop_day, 2 + high * wave, 2 + low * wave)
+    values = values + rng.normal(0, 0.3, values.size)
+    return TimeSeries(t * 3600.0, values)
+
+
+class TestTrendExtractor:
+    def test_stl_components_reconstruct_input(self):
+        ts = step_counts()
+        result = TrendExtractor(period=24).extract(ts)
+        total = result.trend.values + result.seasonal.values + result.residual.values
+        assert np.allclose(total, result.hourly.values, atol=1e-9)
+
+    def test_trend_captures_step(self):
+        result = TrendExtractor(period=24).extract(step_counts())
+        early = result.trend.values[24 * 5 : 24 * 20].mean()
+        late = result.trend.values[24 * 34 :].mean()
+        assert early - late > 3.0
+
+    def test_naive_method(self):
+        result = TrendExtractor(method="naive", period=24).extract(step_counts())
+        assert result.method == "naive"
+        early = result.trend.values[24 * 5 : 24 * 20].mean()
+        late = result.trend.values[24 * 34 :].mean()
+        assert early - late > 3.0
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="method"):
+            TrendExtractor(method="prophet").extract(step_counts())
+
+    def test_short_series_rejected(self):
+        ts = TimeSeries(np.arange(24) * 3600.0, np.ones(24))
+        with pytest.raises(ValueError, match="hourly samples"):
+            TrendExtractor(period=24).extract(ts)
+
+    def test_nan_edges_held_flat(self):
+        ts = step_counts()
+        values = ts.values.copy()
+        values[:30] = np.nan
+        values[-10:] = np.nan
+        result = TrendExtractor(period=24).extract(ts.with_values(values))
+        assert np.isfinite(result.trend.values).all()
+
+    def test_all_nan_rejected(self):
+        ts = TimeSeries(np.arange(24 * 14) * 3600.0, np.full(24 * 14, np.nan))
+        with pytest.raises(ValueError, match="all-NaN"):
+            TrendExtractor(period=24).extract(ts)
+
+    def test_normalized_trend_is_zscored(self):
+        result = TrendExtractor(period=24).extract(step_counts())
+        z = result.normalized_trend.values
+        assert abs(z.mean()) < 1e-9
+        assert z.std() == pytest.approx(1.0, rel=0.05)
+
+    def test_normalization_scale_floor_quiets_flat_trends(self):
+        rng = np.random.default_rng(3)
+        flat = TimeSeries(
+            np.arange(24 * 42) * 3600.0, 10.0 + rng.normal(0, 0.2, 24 * 42)
+        )
+        z = TrendExtractor(period=24).extract(flat).normalized_trend
+        # the trend wobble is far below one address: it must not reach
+        # the CUSUM threshold after scale flooring
+        assert np.abs(z.values).max() < 0.5
+
+
+class TestChangeDetector:
+    def _detect(self, ts, **kwargs):
+        trend = TrendExtractor(period=24).extract(ts).normalized_trend
+        return ChangeDetector(**kwargs).detect(trend)
+
+    def test_detects_wfh_style_drop(self):
+        report = self._detect(step_counts())
+        down = [e for e in report.human_candidates if e.is_downward]
+        assert down
+        assert any(abs(e.day - 28) <= 4 for e in down)
+
+    def test_no_changes_on_stable_block(self):
+        stable = step_counts(drop_day=9999)
+        report = self._detect(stable)
+        assert not report.human_candidates
+
+    def test_outage_pair_filtered(self):
+        ts = step_counts(drop_day=9999, n_days=42)
+        values = ts.values.copy()
+        # a 1.5-day total outage at day 20
+        lo, hi = 24 * 20, 24 * 21 + 12
+        values[lo:hi] = 0.0
+        report = self._detect(ts.with_values(values))
+        outagelike = [e for e in report.events if e.cause == "outage-like"]
+        human_near = [e for e in report.human_candidates if abs(e.day - 20) <= 3]
+        assert len(outagelike) >= 2
+        assert not human_near
+
+    def test_boundary_transients_marked(self):
+        ts = step_counts(drop_day=2)  # change almost at the series start
+        report = self._detect(ts)
+        early = [e for e in report.events if e.day <= 6]
+        assert all(e.cause == "boundary-transient" for e in early)
+
+    def test_guard_days_zero_disables_boundary_filter(self):
+        ts = step_counts(drop_day=2)
+        report = self._detect(ts, guard_days=0.0)
+        assert not any(e.cause == "boundary-transient" for e in report.events)
+
+    def test_downward_on_day(self):
+        report = self._detect(step_counts())
+        days = [e.day for e in report.human_candidates if e.is_downward]
+        assert report.downward_on_day(days[0])
+        assert not report.downward_on_day(days[0] + 1000)
+
+    def test_event_times_ordered(self):
+        report = self._detect(step_counts())
+        for e in report.events:
+            assert e.start_s <= e.time_s
+            assert e.end_s >= e.start_s
+
+    def test_filter_outages_flag(self):
+        ts = step_counts(drop_day=9999)
+        values = ts.values.copy()
+        values[24 * 20 : 24 * 21] = 0.0
+        report = self._detect(ts.with_values(values), filter_outages=False)
+        assert not any(e.cause == "outage-like" for e in report.events)

@@ -1,0 +1,148 @@
+"""Unit tests for the world model and scenarios."""
+
+from __future__ import annotations
+
+from datetime import date
+
+import numpy as np
+import pytest
+
+from repro.net.events import Curfew, Holiday, ServiceWindow, WorkFromHome
+from repro.net.world import (
+    DIURNAL_KINDS,
+    PROFILE_MIXES,
+    WorldModel,
+    scenario_baseline2023,
+    scenario_covid2020,
+)
+
+
+class TestScenarios:
+    def test_covid_scenario_dates(self):
+        sc = scenario_covid2020()
+        assert sc.epoch.year == 2019 and sc.epoch.month == 10
+        # the paper's explicitly out-of-quarter lockdowns
+        assert sc.wfh_dates["Russia"] == date(2020, 3, 30)
+        assert sc.wfh_dates["Singapore"] == date(2020, 4, 7)
+        assert sc.wfh_dates["Slovenia"] == date(2020, 3, 16)
+
+    def test_covid_scenario_has_city_events(self):
+        sc = scenario_covid2020()
+        assert "Wuhan" in sc.city_events
+        assert "New Delhi" in sc.city_events
+        delhi = sc.city_events["New Delhi"]
+        assert any("riot" in getattr(e, "name", "").lower() for e in delhi)
+
+    def test_control_scenario_has_no_wfh(self):
+        sc = scenario_baseline2023()
+        assert not sc.wfh_dates
+        assert "China" in sc.holidays
+
+    def test_country_events_respect_compliance(self):
+        sc = scenario_covid2020()
+        from repro.net.geo import city_by_name
+
+        city = city_by_name("Los Angeles")
+        draws = [
+            any(
+                isinstance(e, WorkFromHome)
+                for e in sc.country_events(city, np.random.default_rng(k))
+            )
+            for k in range(200)
+        ]
+        rate = sum(draws) / len(draws)
+        assert 0.7 < rate < 0.95  # compliance is 0.85
+
+
+class TestWorldModel:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return WorldModel(scenario_covid2020(), n_blocks=120, seed=11)
+
+    def test_deterministic(self, world):
+        clone = WorldModel(scenario_covid2020(), n_blocks=120, seed=11)
+        assert [s.kind for s in clone.blocks] == [s.kind for s in world.blocks]
+        assert [s.seed for s in clone.blocks] == [s.seed for s in world.blocks]
+
+    def test_seed_changes_population(self, world):
+        other = WorldModel(scenario_covid2020(), n_blocks=120, seed=12)
+        assert [s.kind for s in other.blocks] != [s.kind for s in world.blocks]
+
+    def test_block_count(self, world):
+        assert len(world.blocks) == 120
+
+    def test_unresponsive_fraction_about_right(self, world):
+        frac = sum(not s.responsive_by_design for s in world.blocks) / 120
+        assert 0.35 < frac < 0.70
+
+    def test_geolocation_near_city(self, world):
+        for spec in world.blocks[:30]:
+            assert abs(spec.geo.lat - spec.city.lat) < 1.0
+            assert abs(spec.geo.lon - spec.city.lon) < 1.0
+            assert spec.geo.country == spec.city.country
+
+    def test_truth_determinism(self, world):
+        spec = next(s for s in world.blocks if s.responsive_by_design)
+        a = world.truth(spec, 3 * 86_400.0)
+        b = world.truth(spec, 3 * 86_400.0)
+        assert np.array_equal(a.active, b.active)
+
+    def test_truth_window_start(self, world):
+        spec = next(s for s in world.blocks if s.responsive_by_design)
+        full = world.truth(spec, 4 * 86_400.0)
+        windowed = world.truth(spec, 2 * 86_400.0, start_s=2 * 86_400.0)
+        # the first column is the round *covering* the window start
+        assert windowed.col_times[0] >= 2 * 86_400.0 - 660.0
+        offset = int(2 * 86_400.0 // 660.0)
+        assert np.array_equal(windowed.active, full.active[:, offset:])
+
+    def test_diurnal_boost_increases_diurnal_kinds(self):
+        base = WorldModel(scenario_covid2020(), n_blocks=400, seed=13)
+        boosted = WorldModel(
+            scenario_covid2020(), n_blocks=400, seed=13, diurnal_boost=4.0
+        )
+        def count(world):
+            return sum(s.kind in DIURNAL_KINDS for s in world.blocks)
+        assert count(boosted) > count(base)
+
+    def test_broken_observers_get_heavy_loss(self, world):
+        spec = world.blocks[0]
+        assert world.loss_model(spec, "c").max_probability() >= 0.4
+        assert world.loss_model(spec, "e").max_probability() < 0.1
+
+    def test_congested_path_applies_to_flagged_blocks(self, world):
+        flagged = [s for s in world.blocks if "w" in s.lossy_observers]
+        if flagged:
+            model = world.loss_model(flagged[0], "w")
+            assert model.max_probability() > 0.1
+            assert flagged[0].city.country == "China"
+
+    def test_china_blocks_have_spring_festival(self, world):
+        chinese = [s for s in world.blocks if s.city.country == "China"]
+        assert chinese
+        for spec in chinese:
+            assert any(isinstance(e, (Holiday, Curfew)) for e in spec.events)
+
+    def test_service_churn_present(self, world):
+        diurnal = [s for s in world.blocks if s.kind in DIURNAL_KINDS]
+        churned = [
+            s for s in diurnal if any(isinstance(e, ServiceWindow) for e in s.events)
+        ]
+        # the scenario's churn rate is 0.30; allow wide slack at n~small
+        assert 0 <= len(churned) <= len(diurnal)
+        if len(diurnal) >= 20:
+            assert churned  # statistically near-certain
+
+
+class TestProfileMixes:
+    def test_mixes_sum_to_about_one(self):
+        for name, mix in PROFILE_MIXES.items():
+            assert sum(mix.values()) == pytest.approx(1.0, abs=0.05), name
+
+    def test_asia_more_diurnal_than_nat_heavy(self):
+        asia = sum(PROFILE_MIXES["asia_dynamic"][k] for k in DIURNAL_KINDS)
+        west = sum(PROFILE_MIXES["nat_heavy"][k] for k in DIURNAL_KINDS)
+        assert asia > 2 * west
+
+    def test_university_is_workplace_heavy(self):
+        assert PROFILE_MIXES["university"]["workplace"] > 0.15
