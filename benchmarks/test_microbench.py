@@ -2,11 +2,14 @@
 
 Unlike the experiment benchmarks (single deterministic runs that
 regenerate paper tables), these measure the per-call cost of the core
-algorithms over realistic quarter-length inputs.
+algorithms over realistic quarter-length inputs, plus the campaign
+engine's serial vs. parallel throughput over a whole world (with the
+per-stage timing breakdown printed for both).
 """
 
 from __future__ import annotations
 
+import pickle
 from datetime import datetime
 
 import numpy as np
@@ -15,13 +18,19 @@ import pytest
 from repro.core.reconstruction import reconstruct
 from repro.core.repair import one_loss_repair
 from repro.core.trend import TrendExtractor
+from repro.datasets.builder import DatasetBuilder
+from repro.experiments.common import bench_scale
 from repro.net.events import Calendar
 from repro.net.prober import TrinocularObserver, probe_order
 from repro.net.usage import WorkplaceUsage, round_grid
+from repro.net.world import WorldModel, scenario_covid2020
+from repro.runtime import CampaignEngine, ParallelExecutor, SerialExecutor
 from repro.timeseries.detect import detect_cusum
 from repro.timeseries.stl import stl_decompose
 
 QUARTER_S = 84 * 86_400.0
+
+ENGINE_DATASET = "2020it89-match-ejnw"  # two weeks, four observers
 
 
 @pytest.fixture(scope="module")
@@ -85,3 +94,50 @@ def test_trend_extraction_quarter(benchmark, quarter_block):
     recon = reconstruct(log, truth.addresses, truth.col_times)
     result = benchmark(TrendExtractor().extract, recon.counts)
     assert np.isfinite(result.trend.values).all()
+
+
+# ---------------------------------------------------------------------------
+# campaign engine: serial vs parallel over a whole world
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def engine_world():
+    """A 200-block world (REPRO_SCALE overrides) for engine benchmarks."""
+    return WorldModel(scenario_covid2020(), n_blocks=bench_scale(200), seed=11)
+
+
+def _engine_analyze(world, executor):
+    engine = CampaignEngine(executor)
+    result = DatasetBuilder(world).analyze(ENGINE_DATASET, engine=engine)
+    print()
+    print(result.metrics.report())  # the per-stage timing breakdown
+    return result
+
+
+@pytest.fixture(scope="module")
+def serial_reference(engine_world):
+    """Serial engine results the parallel benchmark is checked against."""
+    return _engine_analyze(engine_world, SerialExecutor())
+
+
+def test_engine_serial_world(benchmark, engine_world):
+    """Whole-world analysis through the engine, one process."""
+    result = benchmark.pedantic(
+        _engine_analyze, args=(engine_world, SerialExecutor()), rounds=1, iterations=1
+    )
+    assert result.funnel().routed == engine_world.n_blocks
+
+
+def test_engine_parallel_world(benchmark, engine_world, serial_reference):
+    """Whole-world analysis through a 2-worker pool; byte-identical to serial."""
+    result = benchmark.pedantic(
+        _engine_analyze,
+        args=(engine_world, ParallelExecutor(workers=2)),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.metrics.fallback is None
+    assert list(result.analyses) == list(serial_reference.analyses)
+    for cidr, analysis in result.analyses.items():
+        assert pickle.dumps(analysis) == pickle.dumps(
+            serial_reference.analyses[cidr]
+        ), f"parallel analysis diverged from serial for {cidr}"

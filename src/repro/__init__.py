@@ -38,6 +38,13 @@ from .core import (
     reconstruct,
 )
 from .datasets import CATALOG, DatasetBuilder, DatasetSpec, dataset
+from .runtime import (
+    CampaignEngine,
+    ParallelExecutor,
+    RunMetrics,
+    SerialExecutor,
+    default_engine,
+)
 from .net import (
     BlockAddress,
     BlockTruth,
@@ -73,6 +80,11 @@ __all__ = [
     "DatasetBuilder",
     "DatasetSpec",
     "dataset",
+    "CampaignEngine",
+    "ParallelExecutor",
+    "RunMetrics",
+    "SerialExecutor",
+    "default_engine",
     "BlockAddress",
     "BlockTruth",
     "Calendar",

@@ -7,11 +7,14 @@
     repro all                  # run everything (slow at full scale)
     repro export [directory]   # write campaign results as CSV/GeoJSON (S2.9)
     REPRO_SCALE=200 repro fig8 # scale the simulated world down/up
+    repro --workers 4 table2   # fan block analysis out over 4 processes
+    repro --metrics fig3       # print per-stage engine instrumentation
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .experiments import REGISTRY
@@ -36,6 +39,21 @@ def _build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default="repro_results",
         help="output directory for 'export' (default: repro_results)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "processes for per-block analysis (sets REPRO_WORKERS; "
+            "1 = serial, the default)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print per-stage engine instrumentation after the run",
     )
     return parser
 
@@ -63,9 +81,27 @@ def _export(destination: str) -> int:
     return 0
 
 
+def _print_metrics() -> None:
+    """Print instrumentation for every engine run since the last drain."""
+    from .runtime import drain_run_log
+
+    runs = drain_run_log()
+    if not runs:
+        print("(no engine runs recorded)", file=sys.stderr)
+        return
+    print("\n--- engine metrics ---", file=sys.stderr)
+    for metrics in runs:
+        print(metrics.report(), file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     name = args.experiment
+
+    if args.workers is not None:
+        # default_engine() reads this; one env var reaches every
+        # experiment without threading an engine through each main().
+        os.environ["REPRO_WORKERS"] = str(args.workers)
 
     if name == "list":
         print("available experiments:")
@@ -74,30 +110,34 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {key:20s} {doc}")
         return 0
 
-    if name == "export":
-        return _export(args.destination)
+    try:
+        if name == "export":
+            return _export(args.destination)
 
-    if name == "all":
-        failures = []
-        for key, module in REGISTRY.items():
-            print(f"=== {key} ===")
-            try:
-                module.main()
-            except Exception as exc:  # surface which experiment broke
-                failures.append(key)
-                print(f"experiment {key} failed: {exc}", file=sys.stderr)
-            print()
-        if failures:
-            print(f"failed experiments: {', '.join(failures)}", file=sys.stderr)
-            return 1
+        if name == "all":
+            failures = []
+            for key, module in REGISTRY.items():
+                print(f"=== {key} ===")
+                try:
+                    module.main()
+                except Exception as exc:  # surface which experiment broke
+                    failures.append(key)
+                    print(f"experiment {key} failed: {exc}", file=sys.stderr)
+                print()
+            if failures:
+                print(f"failed experiments: {', '.join(failures)}", file=sys.stderr)
+                return 1
+            return 0
+
+        module = REGISTRY.get(name)
+        if module is None:
+            print(f"unknown experiment {name!r}; try 'repro list'", file=sys.stderr)
+            return 2
+        module.main()
         return 0
-
-    module = REGISTRY.get(name)
-    if module is None:
-        print(f"unknown experiment {name!r}; try 'repro list'", file=sys.stderr)
-        return 2
-    module.main()
-    return 0
+    finally:
+        if args.metrics:
+            _print_metrics()
 
 
 if __name__ == "__main__":

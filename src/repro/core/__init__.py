@@ -25,6 +25,7 @@ from .refresh import (
 )
 from .repair import one_loss_repair, repaired_fraction
 from .sensitivity import BlockClassification, SensitivityClassifier
+from .stages import PIPELINE_STAGES, StageContext, StageRecord
 from .swing import SwingProfile, SwingTest
 from .trend import TrendExtractor, TrendResult
 
@@ -61,6 +62,9 @@ __all__ = [
     "repaired_fraction",
     "BlockClassification",
     "SensitivityClassifier",
+    "PIPELINE_STAGES",
+    "StageContext",
+    "StageRecord",
     "SwingProfile",
     "SwingTest",
     "TrendExtractor",

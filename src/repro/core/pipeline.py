@@ -7,6 +7,13 @@ change-sensitivity -> STL trend -> CUSUM changes``.
 with per-observer probe logs; every stage is configurable and all stage
 outputs are kept on the result for inspection (the example scripts and
 the Figure 1 experiment print them).
+
+Each stage is individually invokable (``stage_repair`` ...
+``stage_detect``) and reports wall time, input/output sizes, and skip
+reasons into an optional :class:`~repro.core.stages.StageContext`;
+:meth:`BlockPipeline.analyze` is the canonical composition of the six
+stages and the runtime's :class:`~repro.runtime.engine.CampaignEngine`
+aggregates the per-stage records across blocks.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ from .outages import OutageDetector, corroborate_changes
 from .reconstruction import Reconstruction, reconstruct
 from .repair import one_loss_repair
 from .sensitivity import BlockClassification, SensitivityClassifier
+from .stages import StageContext
 from .trend import TrendExtractor, TrendResult
 
 __all__ = ["BlockAnalysis", "BlockPipeline"]
@@ -91,42 +99,125 @@ class BlockPipeline:
     corroborate_outages: bool = False
     sample_seconds: float = ROUND_SECONDS
 
+    # -- stages ------------------------------------------------------------
+    # Each stage can be called on its own (validation studies poke at
+    # intermediate products) and records itself into ``ctx`` when given.
+
+    def stage_repair(
+        self, per_observer: list[ObservationSeries], ctx: StageContext | None = None
+    ) -> list[ObservationSeries]:
+        """1-loss repair of each observer's probe log (§2.3)."""
+        ctx = ctx if ctx is not None else StageContext()
+        n_in = sum(len(s) for s in per_observer)
+        if not self.apply_repair:
+            ctx.skip("repair", "disabled", n_in=n_in)
+            return per_observer
+        with ctx.stage("repair", n_in=n_in) as active:
+            repaired = [one_loss_repair(s) for s in per_observer]
+            active.n_out = sum(len(s) for s in repaired)
+        return repaired
+
+    def stage_combine(
+        self, per_observer: list[ObservationSeries], ctx: StageContext | None = None
+    ) -> ObservationSeries:
+        """Merge per-observer logs into one time-ordered stream (§2.4)."""
+        ctx = ctx if ctx is not None else StageContext()
+        with ctx.stage("combine", n_in=sum(len(s) for s in per_observer)) as active:
+            merged = combine_observers(per_observer)
+            active.n_out = len(merged)
+        return merged
+
+    def stage_reconstruct(
+        self,
+        merged: ObservationSeries,
+        eb_addresses: np.ndarray,
+        sample_times: np.ndarray | None = None,
+        ctx: StageContext | None = None,
+    ) -> Reconstruction:
+        """Hold-last-state count reconstruction over E(b) (§2.3)."""
+        ctx = ctx if ctx is not None else StageContext()
+        with ctx.stage("reconstruct", n_in=len(merged)) as active:
+            if sample_times is None:
+                sample_times = self._default_grid(merged)
+            recon = reconstruct(merged, eb_addresses, sample_times)
+            active.n_out = len(recon.counts)
+        return recon
+
+    def stage_classify(
+        self, recon: Reconstruction, ctx: StageContext | None = None
+    ) -> BlockClassification:
+        """Change-sensitivity funnel: responsive -> diurnal -> wide swing."""
+        ctx = ctx if ctx is not None else StageContext()
+        with ctx.stage("classify", n_in=len(recon.counts)) as active:
+            classification = self.classifier.classify(recon.counts)
+            active.n_out = int(classification.is_change_sensitive)
+        return classification
+
+    def stage_trend(
+        self,
+        recon: Reconstruction,
+        classification: BlockClassification,
+        ctx: StageContext | None = None,
+    ) -> TrendResult | None:
+        """STL trend extraction (§2.5) for blocks that pass the funnel."""
+        ctx = ctx if ctx is not None else StageContext()
+        n_in = len(recon.counts)
+        if not self._should_detect(classification):
+            reason = (
+                "not-responsive"
+                if not classification.responsive
+                else "not-change-sensitive"
+            )
+            ctx.skip("trend", reason, n_in=n_in)
+            return None
+        with ctx.stage("trend", n_in=n_in) as active:
+            try:
+                trend = self.trend_extractor.extract(recon.counts)
+            except ValueError:
+                trend = None
+            active.n_out = len(trend.trend) if trend is not None else 0
+        return trend
+
+    def stage_detect(
+        self,
+        recon: Reconstruction,
+        trend: TrendResult | None,
+        ctx: StageContext | None = None,
+    ) -> ChangeReport | None:
+        """CUSUM change detection (§2.6) on the normalized trend."""
+        ctx = ctx if ctx is not None else StageContext()
+        if trend is None:
+            ctx.skip("detect", "no-trend")
+            return None
+        with ctx.stage("detect", n_in=len(trend.normalized_trend)) as active:
+            changes = self.detector.detect(trend.normalized_trend)
+            if self.corroborate_outages and changes is not None:
+                outages = self.outage_detector.detect(recon.counts)
+                changes = ChangeReport(
+                    events=corroborate_changes(changes.events, outages),
+                    cusum=changes.cusum,
+                    normalized_trend=changes.normalized_trend,
+                )
+            active.n_out = len(changes.events) if changes is not None else 0
+        return changes
+
+    # -- composition -------------------------------------------------------
     def analyze(
         self,
         per_observer: list[ObservationSeries],
         eb_addresses: np.ndarray,
         *,
         sample_times: np.ndarray | None = None,
+        ctx: StageContext | None = None,
     ) -> BlockAnalysis:
         """Run the full pipeline over one block's per-observer probe logs."""
-        if self.apply_repair:
-            per_observer = [one_loss_repair(s) for s in per_observer]
-        merged = combine_observers(per_observer)
-
-        if sample_times is None:
-            sample_times = self._default_grid(merged)
-        recon = reconstruct(merged, eb_addresses, sample_times)
-        classification = self.classifier.classify(recon.counts)
-
-        trend: TrendResult | None = None
-        changes: ChangeReport | None = None
-        should_detect = classification.is_change_sensitive or (
-            self.detect_on_all and classification.responsive
-        )
-        if should_detect:
-            try:
-                trend = self.trend_extractor.extract(recon.counts)
-            except ValueError:
-                trend = None
-            if trend is not None:
-                changes = self.detector.detect(trend.normalized_trend)
-                if self.corroborate_outages and changes is not None:
-                    outages = self.outage_detector.detect(recon.counts)
-                    changes = ChangeReport(
-                        events=corroborate_changes(changes.events, outages),
-                        cusum=changes.cusum,
-                        normalized_trend=changes.normalized_trend,
-                    )
+        ctx = ctx if ctx is not None else StageContext()
+        per_observer = self.stage_repair(per_observer, ctx)
+        merged = self.stage_combine(per_observer, ctx)
+        recon = self.stage_reconstruct(merged, eb_addresses, sample_times, ctx)
+        classification = self.stage_classify(recon, ctx)
+        trend = self.stage_trend(recon, classification, ctx)
+        changes = self.stage_detect(recon, trend, ctx)
         return BlockAnalysis(
             reconstruction=recon,
             classification=classification,
@@ -134,10 +225,22 @@ class BlockPipeline:
             changes=changes,
         )
 
+    def _should_detect(self, classification: BlockClassification) -> bool:
+        return classification.is_change_sensitive or (
+            self.detect_on_all and classification.responsive
+        )
+
     def _default_grid(self, merged: ObservationSeries) -> np.ndarray:
         if merged.is_empty:
             return np.array([], dtype=np.float64)
         start = float(merged.times[0]) - (float(merged.times[0]) % self.sample_seconds)
         stop = float(merged.times[-1])
-        n = max(int(np.ceil((stop - start) / self.sample_seconds)), 1)
-        return start + np.arange(n + 1) * self.sample_seconds
+        # A single-observation merge (or a degenerate log) can make the
+        # span zero or negative; clamp so the grid always has at least one
+        # step and always reaches past the last observation.
+        span = max(stop - start, 0.0)
+        n = max(int(np.ceil(span / self.sample_seconds)), 1)
+        grid = start + np.arange(n + 1) * self.sample_seconds
+        if grid[-1] < stop:  # float rounding on long windows
+            grid = np.append(grid, grid[-1] + self.sample_seconds)
+        return grid

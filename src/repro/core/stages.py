@@ -1,0 +1,104 @@
+"""Per-stage instrumentation for the block pipeline.
+
+The paper's Table 1 pipeline is a fixed chain of six stages
+(``repair -> combine -> reconstruct -> classify -> trend -> detect``).
+:class:`StageContext` is the lightweight recorder each stage reports
+into: one :class:`StageRecord` per invocation with wall time, input and
+output sizes, and (when a stage did not run) a skip reason.
+
+Records are plain frozen dataclasses so they pickle cheaply and can be
+shipped back from worker processes; the runtime engine aggregates them
+into per-campaign :class:`~repro.runtime.engine.RunMetrics`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["PIPELINE_STAGES", "StageContext", "StageRecord"]
+
+#: Canonical stage order of :meth:`repro.core.pipeline.BlockPipeline.analyze`.
+#: Extra ad-hoc stages (e.g. the builder's ``simulate``) may appear in a
+#: context as well; this tuple is the pipeline's own contract.
+PIPELINE_STAGES = ("repair", "combine", "reconstruct", "classify", "trend", "detect")
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """One stage invocation: how long it took and what flowed through it."""
+
+    name: str
+    wall_s: float = 0.0
+    n_in: int = 0
+    n_out: int = 0
+    skipped: str | None = None  # reason the stage did not run, None = it ran
+
+    @property
+    def ran(self) -> bool:
+        return self.skipped is None
+
+
+class _ActiveStage:
+    """Mutable handle a running stage uses to report its output size."""
+
+    __slots__ = ("n_out",)
+
+    def __init__(self, n_out: int = 0) -> None:
+        self.n_out = n_out
+
+
+@dataclass
+class StageContext:
+    """Collects :class:`StageRecord` entries for one block analysis."""
+
+    records: list[StageRecord] = field(default_factory=list)
+
+    @contextmanager
+    def stage(self, name: str, *, n_in: int = 0) -> Iterator[_ActiveStage]:
+        """Time a stage body; set ``.n_out`` on the yielded handle."""
+        active = _ActiveStage()
+        start = time.perf_counter()
+        try:
+            yield active
+        finally:
+            self.records.append(
+                StageRecord(
+                    name=name,
+                    wall_s=time.perf_counter() - start,
+                    n_in=n_in,
+                    n_out=active.n_out,
+                )
+            )
+
+    def skip(self, name: str, reason: str, *, n_in: int = 0) -> None:
+        """Record that a stage was not run and why."""
+        self.records.append(StageRecord(name=name, n_in=n_in, skipped=reason))
+
+    # -- inspection helpers -------------------------------------------------
+    def by_name(self, name: str) -> list[StageRecord]:
+        return [r for r in self.records if r.name == name]
+
+    def last(self, name: str) -> StageRecord | None:
+        for record in reversed(self.records):
+            if record.name == name:
+                return record
+        return None
+
+    @property
+    def total_wall_s(self) -> float:
+        return sum(r.wall_s for r in self.records)
+
+    def as_dict(self) -> dict[str, dict[str, object]]:
+        """Last record per stage name, as plain dicts (JSON-friendly)."""
+        out: dict[str, dict[str, object]] = {}
+        for r in self.records:
+            out[r.name] = {
+                "wall_s": r.wall_s,
+                "n_in": r.n_in,
+                "n_out": r.n_out,
+                "skipped": r.skipped,
+            }
+        return out

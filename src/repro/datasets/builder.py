@@ -20,15 +20,24 @@ import numpy as np
 
 from ..core.pipeline import BlockAnalysis, BlockPipeline
 from ..core.aggregate import BlockRecord
+from ..core.stages import StageContext
 from ..net.bayesian import BayesianTrinocularObserver
 from ..net.observations import ObservationSeries
 from ..net.prober import AdditionalProber, TrinocularObserver, probe_order
 from ..net.survey import SurveyObserver
 from ..net.usage import ROUND_SECONDS, BlockTruth
 from ..net.world import BlockSpec, WorldModel
+from ..runtime.engine import CampaignEngine, RunMetrics, default_engine
+from ..runtime.jobs import BlockAnalysisJob
 from .catalog import TRINOCULAR_SITES, DatasetSpec, dataset
 
-__all__ = ["DatasetBuilder", "DatasetResult", "FunnelCounts"]
+__all__ = [
+    "DatasetBuilder",
+    "DatasetResult",
+    "FunnelCounts",
+    "block_record",
+    "unresponsive_analysis",
+]
 
 
 @dataclass(frozen=True)
@@ -73,6 +82,7 @@ class DatasetResult:
     world: WorldModel
     analyses: dict[str, BlockAnalysis] = field(default_factory=dict)  # key: cidr
     block_specs: dict[str, BlockSpec] = field(default_factory=dict)
+    metrics: RunMetrics | None = None  # instrumentation of the engine run
 
     def funnel(self) -> FunnelCounts:
         routed = len(self.analyses)
@@ -99,19 +109,10 @@ class DatasetResult:
 
     def records(self) -> list[BlockRecord]:
         """Aggregation records (geolocation + change days) per block."""
-        out: list[BlockRecord] = []
-        for cidr, analysis in self.analyses.items():
-            spec = self.block_specs[cidr]
-            out.append(
-                BlockRecord(
-                    geo=spec.geo,
-                    responsive=analysis.classification.responsive,
-                    change_sensitive=analysis.is_change_sensitive,
-                    downward_days=analysis.downward_change_days(),
-                    upward_days=analysis.upward_change_days(),
-                )
-            )
-        return out
+        return [
+            block_record(self.block_specs[cidr], analysis)
+            for cidr, analysis in self.analyses.items()
+        ]
 
     def change_sensitive(self) -> list[str]:
         return [c for c, a in self.analyses.items() if a.is_change_sensitive]
@@ -225,15 +226,20 @@ class DatasetBuilder:
         spec: BlockSpec,
         ds: DatasetSpec | str,
         pipeline: BlockPipeline | None = None,
+        *,
+        ctx: StageContext | None = None,
     ) -> BlockAnalysis:
         """Run the pipeline on one block for one dataset window."""
         ds = dataset(ds) if isinstance(ds, str) else ds
         pipeline = pipeline or self.pipeline
-        logs = self.observe_dataset(spec, ds)
-        truth = self.truth(spec, ds.start_s(self.world.epoch), ds.duration_s)
+        ctx = ctx if ctx is not None else StageContext()
         start = ds.start_s(self.world.epoch)
+        with ctx.stage("simulate") as active:
+            logs = self.observe_dataset(spec, ds)
+            truth = self.truth(spec, start, ds.duration_s)
+            active.n_out = sum(len(log) for log in logs)
         grid = start + np.arange(int(ds.duration_s / ROUND_SECONDS)) * ROUND_SECONDS
-        return pipeline.analyze(logs, truth.addresses, sample_times=grid)
+        return pipeline.analyze(logs, truth.addresses, sample_times=grid, ctx=ctx)
 
     def analyze(
         self,
@@ -241,19 +247,30 @@ class DatasetBuilder:
         *,
         blocks: list[BlockSpec] | None = None,
         pipeline: BlockPipeline | None = None,
+        engine: CampaignEngine | None = None,
     ) -> DatasetResult:
-        """Analyze a whole dataset (all world blocks unless given)."""
+        """Analyze a whole dataset (all world blocks unless given).
+
+        Blocks are dispatched through ``engine`` (the ``REPRO_WORKERS``
+        default when not given) as one :class:`BlockAnalysisJob` per
+        block; firewalled blocks short-circuit inside the job.  The
+        engine's :class:`~repro.runtime.engine.RunMetrics` lands on the
+        returned result.
+        """
         ds = dataset(ds) if isinstance(ds, str) else ds
         blocks = list(self.world.blocks) if blocks is None else blocks
-        result = DatasetResult(spec=ds, world=self.world)
-        for spec in blocks:
-            if not spec.responsive_by_design:
-                # firewalled blocks never answer: short-circuit the sim
-                result.analyses[spec.block.cidr] = _unresponsive_analysis()
-                result.block_specs[spec.block.cidr] = spec
-                continue
-            result.analyses[spec.block.cidr] = self.analyze_block(spec, ds, pipeline)
-            result.block_specs[spec.block.cidr] = spec
+        engine = engine if engine is not None else default_engine()
+        job = BlockAnalysisJob(
+            world=self.world,
+            ds=ds,
+            pipeline=pipeline or self.pipeline,
+            observer_style=self.observer_style,
+        )
+        run = engine.run(job, blocks, label=f"analyze:{ds.name}")
+        result = DatasetResult(spec=ds, world=self.world, metrics=run.metrics)
+        for spec, block_result in zip(blocks, run.results):
+            result.analyses[block_result.key] = block_result.analysis
+            result.block_specs[block_result.key] = spec
         return result
 
     # -- block statistics ----------------------------------------------------
@@ -271,7 +288,35 @@ def _observer_stream(observer: str) -> int:
     return sum(ord(ch) << (8 * i) for i, ch in enumerate(observer[:4]))
 
 
-def _unresponsive_analysis() -> BlockAnalysis:
+def block_record(
+    spec: BlockSpec,
+    analysis: BlockAnalysis,
+    *,
+    responsive: bool | None = None,
+    change_sensitive: bool | None = None,
+) -> BlockRecord:
+    """The aggregation record for one analyzed block.
+
+    ``responsive``/``change_sensitive`` override the analysis's own
+    classification — campaign runs label blocks by their *baseline*
+    verdict while the change days come from the detection window.
+    """
+    return BlockRecord(
+        geo=spec.geo,
+        responsive=(
+            analysis.classification.responsive if responsive is None else responsive
+        ),
+        change_sensitive=(
+            analysis.is_change_sensitive
+            if change_sensitive is None
+            else change_sensitive
+        ),
+        downward_days=analysis.downward_change_days(),
+        upward_days=analysis.upward_change_days(),
+    )
+
+
+def unresponsive_analysis() -> BlockAnalysis:
     """A constant analysis object for blocks that never answer probes."""
     from ..core.reconstruction import Reconstruction
     from ..core.sensitivity import BlockClassification

@@ -23,7 +23,10 @@ from ..core.refresh import (
     select_for_additional_probing,
 )
 from ..datasets.builder import DatasetBuilder
+from ..datasets.catalog import DatasetSpec, dataset
 from ..net.observations import merge_observations
+from ..net.world import BlockSpec, WorldModel
+from ..runtime.engine import CampaignEngine, default_engine
 from .common import bench_scale, covid_world, fmt_table
 
 __all__ = ["AdditionalProbingResult", "run"]
@@ -54,31 +57,52 @@ class AdditionalProbingResult:
         return checks
 
 
-def run(n_blocks: int | None = None, seed: int = 30) -> AdditionalProbingResult:
+@dataclass(frozen=True)
+class _FbsSampleJob:
+    """Per-block task: (|E(b)|, availability, median FBS hours)."""
+
+    world: WorldModel
+    ds: DatasetSpec
+
+    def __call__(self, spec: BlockSpec) -> tuple[int, float, float]:
+        builder = DatasetBuilder(self.world)
+        start = self.ds.start_s(self.world.epoch)
+        truth = builder.truth(spec, start, self.ds.duration_s)
+        merged = merge_observations(
+            [builder.observe(spec, o, start, self.ds.duration_s) for o in self.ds.observers]
+        )
+        durations = full_scan_durations(merged, truth.addresses, max_scans=8)
+        hours = float(np.median(durations)) / 3600.0 if durations.size else 7 * 24.0
+        a = builder.availability(spec, start, self.ds.duration_s)
+        return truth.n_addresses, a, hours
+
+
+def run(
+    n_blocks: int | None = None,
+    seed: int = 30,
+    *,
+    engine: CampaignEngine | None = None,
+) -> AdditionalProbingResult:
     n = bench_scale(200) if n_blocks is None else n_blocks
     world = covid_world(n, seed)
     builder = DatasetBuilder(world)
-    ds = builder.analyze(DATASET).spec
+    engine = engine if engine is not None else default_engine()
+    ds = dataset(DATASET)
     start = ds.start_s(world.epoch)
 
+    targets = [spec for spec in world.blocks if spec.responsive_by_design]
+    samples = engine.run(
+        _FbsSampleJob(world=world, ds=ds), targets, label="additional-probing:fbs"
+    )
     ebs: list[int] = []
     avails: list[float] = []
     fbs_hours: list[float] = []
     slowest: tuple[float, object] | None = None
-    for spec in world.blocks:
-        if not spec.responsive_by_design:
-            continue
-        truth = builder.truth(spec, start, ds.duration_s)
-        merged = merge_observations(
-            [builder.observe(spec, o, start, ds.duration_s) for o in ds.observers]
-        )
-        durations = full_scan_durations(merged, truth.addresses, max_scans=8)
-        hours = float(np.median(durations)) / 3600.0 if durations.size else 7 * 24.0
-        a = builder.availability(spec, start, ds.duration_s)
-        ebs.append(truth.n_addresses)
+    for spec, (eb, a, hours) in zip(targets, samples.results):
+        ebs.append(eb)
         avails.append(a)
         fbs_hours.append(hours)
-        if truth.n_addresses >= 32 and (slowest is None or hours > slowest[0]):
+        if eb >= 32 and (slowest is None or hours > slowest[0]):
             slowest = (hours, spec)
 
     eb_arr = np.asarray(ebs)

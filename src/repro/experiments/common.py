@@ -22,9 +22,10 @@ import numpy as np
 
 from ..core.aggregate import BlockRecord, GridAggregator
 from ..core.pipeline import BlockAnalysis, BlockPipeline
-from ..datasets.builder import DatasetBuilder, DatasetResult
+from ..datasets.builder import DatasetBuilder, DatasetResult, block_record
 from ..datasets.catalog import dataset
 from ..net.world import WorldModel, scenario_baseline2023, scenario_covid2020
+from ..runtime.engine import CampaignEngine, RunMetrics, default_engine
 
 __all__ = [
     "Campaign",
@@ -75,6 +76,7 @@ class Campaign:
     analyses: dict[str, BlockAnalysis]
     first_day: int
     n_days: int
+    metrics: tuple[RunMetrics, ...] = ()  # (baseline run, detection run)
 
     def aggregator(
         self, *, min_responsive: int = 5, min_change_sensitive: int = 5
@@ -92,65 +94,100 @@ class Campaign:
         return self.world.epoch.date() + timedelta(days=int(day))
 
 
-def _run_campaign(world: WorldModel, baseline_name: str, window_name: str) -> Campaign:
+def _run_campaign(
+    world: WorldModel,
+    baseline_name: str,
+    window_name: str,
+    *,
+    engine: CampaignEngine | None = None,
+) -> Campaign:
+    """The §3.4 protocol as two engine runs over one shared code path.
+
+    Run 1 analyzes every block on the baseline window; run 2 re-analyzes
+    exactly the change-sensitive responsive blocks on the detection
+    window (``detect_on_all`` so trend/CUSUM run regardless of how the
+    longer window classifies them).  Both runs dispatch through the same
+    :class:`~repro.runtime.engine.CampaignEngine` the dataset builder
+    uses — serial or parallel is purely the executor's business.
+    """
+    engine = engine if engine is not None else default_engine()
     builder = DatasetBuilder(world)
-    baseline = builder.analyze(baseline_name)
+    baseline = builder.analyze(baseline_name, engine=engine)
     cs_set = set(baseline.change_sensitive())
     window = dataset(window_name)
     start = window.start_s(world.epoch)
     first_day = int(start // 86_400)
     n_days = int(window.duration_days)
 
-    detect_pipeline = BlockPipeline(detect_on_all=True)
+    def baseline_responsive(cidr: str) -> bool:
+        base = baseline.analyses.get(cidr)
+        return base is not None and base.classification.responsive
+
+    targets = [
+        spec
+        for spec in world.blocks
+        if spec.block.cidr in cs_set and baseline_responsive(spec.block.cidr)
+    ]
+    windowed = builder.analyze(
+        window,
+        blocks=targets,
+        pipeline=BlockPipeline(detect_on_all=True),
+        engine=engine,
+    )
+
     records: list[BlockRecord] = []
-    analyses: dict[str, BlockAnalysis] = {}
     for spec in world.blocks:
         cidr = spec.block.cidr
-        base = baseline.analyses.get(cidr)
-        responsive = base is not None and base.classification.responsive
-        if cidr in cs_set and responsive:
-            analysis = builder.analyze_block(spec, window, detect_pipeline)
-            analyses[cidr] = analysis
+        analysis = windowed.analyses.get(cidr)
+        if analysis is not None:
             records.append(
-                BlockRecord(
-                    geo=spec.geo,
-                    responsive=True,
-                    change_sensitive=True,
-                    downward_days=analysis.downward_change_days(),
-                    upward_days=analysis.upward_change_days(),
-                )
+                block_record(spec, analysis, responsive=True, change_sensitive=True)
             )
         else:
             records.append(
                 BlockRecord(
                     geo=spec.geo,
-                    responsive=responsive,
+                    responsive=baseline_responsive(cidr),
                     change_sensitive=False,
                 )
             )
+    metrics = tuple(
+        m for m in (baseline.metrics, windowed.metrics) if m is not None
+    )
     return Campaign(
         world=world,
         baseline=baseline,
         records=tuple(records),
-        analyses=analyses,
+        analyses=dict(windowed.analyses),
         first_day=first_day,
         n_days=n_days,
+        metrics=metrics,
     )
 
 
-@functools.lru_cache(maxsize=2)
 def covid_campaign(n_blocks: int | None = None, seed: int = 20) -> Campaign:
-    """Baseline on 2020m1-ejnw, change detection over 2020h1-ejnw."""
+    """Baseline on 2020m1-ejnw, change detection over 2020h1-ejnw.
+
+    The effective scale is resolved *before* the memoized call so that
+    changing ``REPRO_SCALE`` between calls yields a fresh campaign
+    instead of silently replaying the old scale's cache.
+    """
     n = bench_scale(1600) if n_blocks is None else n_blocks
-    world = covid_world(n, seed, diurnal_boost=3.0)
-    return _run_campaign(world, "2020m1-ejnw", "2020h1-ejnw")
+    return _cached_campaign("covid", n, seed)
 
 
-@functools.lru_cache(maxsize=2)
 def control_campaign(n_blocks: int | None = None, seed: int = 23) -> Campaign:
     """The 2023q1 control campaign (Appendix B.3/B.4)."""
     n = bench_scale(1600) if n_blocks is None else n_blocks
-    world = control_world(n, seed, diurnal_boost=3.0)
+    return _cached_campaign("control", n, seed)
+
+
+@functools.lru_cache(maxsize=4)
+def _cached_campaign(kind: str, n_blocks: int, seed: int) -> Campaign:
+    if kind == "covid":
+        world = covid_world(n_blocks, seed, diurnal_boost=3.0)
+        return _run_campaign(world, "2020m1-ejnw", "2020h1-ejnw")
+    world = control_world(n_blocks, seed, diurnal_boost=3.0)
     return _run_campaign(world, "2023q1-ejnw", "2023q1-ejnw")
 
 

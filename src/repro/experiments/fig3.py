@@ -16,7 +16,10 @@ import numpy as np
 
 from ..core.reconstruction import full_scan_durations
 from ..datasets.builder import DatasetBuilder
+from ..datasets.catalog import DatasetSpec
 from ..net.observations import merge_observations
+from ..net.world import BlockSpec, WorldModel
+from ..runtime.engine import CampaignEngine, default_engine
 from .common import bench_scale, covid_world, fmt_table
 
 __all__ = ["Fig3Result", "run", "OBSERVER_SETS"]
@@ -61,27 +64,52 @@ class Fig3Result:
         }
 
 
-def run(n_blocks: int | None = None, seed: int = 26, max_scans: int = 40) -> Fig3Result:
+@dataclass(frozen=True)
+class _ScanTimeJob:
+    """Per-block task: median full-scan duration for each observer set."""
+
+    world: WorldModel
+    ds: DatasetSpec
+    max_scans: int
+
+    def __call__(self, spec: BlockSpec) -> dict[str, float | None]:
+        builder = DatasetBuilder(self.world)
+        start = self.ds.start_s(self.world.epoch)
+        truth = builder.truth(spec, start, self.ds.duration_s)
+        logs = {
+            o: builder.observe(spec, o, start, self.ds.duration_s) for o in "ejnw"
+        }
+        out: dict[str, float | None] = {}
+        for combo in OBSERVER_SETS:
+            merged = merge_observations([logs[o] for o in combo])
+            durations = full_scan_durations(
+                merged, truth.addresses, max_scans=self.max_scans
+            )
+            out[combo] = float(np.median(durations)) if durations.size else None
+        return out
+
+
+def run(
+    n_blocks: int | None = None,
+    seed: int = 26,
+    max_scans: int = 40,
+    *,
+    engine: CampaignEngine | None = None,
+) -> Fig3Result:
     n = bench_scale(220) if n_blocks is None else n_blocks
     world = covid_world(n, seed, diurnal_boost=2.0)
     builder = DatasetBuilder(world)
-    result = builder.analyze(DATASET)
+    engine = engine if engine is not None else default_engine()
+    result = builder.analyze(DATASET, engine=engine)
     cs = result.change_sensitive()
 
-    ds = result.spec
-    start = ds.start_s(world.epoch)
+    job = _ScanTimeJob(world=world, ds=result.spec, max_scans=max_scans)
+    scan_run = engine.run(job, [result.block_specs[c] for c in cs], label="fig3:scan")
     medians: dict[str, list[float]] = {o: [] for o in OBSERVER_SETS}
-    for cidr in cs:
-        spec = result.block_specs[cidr]
-        truth = builder.truth(spec, start, ds.duration_s)
-        logs = {
-            o: builder.observe(spec, o, start, ds.duration_s) for o in "ejnw"
-        }
-        for combo in OBSERVER_SETS:
-            merged = merge_observations([logs[o] for o in combo])
-            durations = full_scan_durations(merged, truth.addresses, max_scans=max_scans)
-            if durations.size:
-                medians[combo].append(float(np.median(durations)))
+    for per_block in scan_run.results:
+        for combo, median in per_block.items():
+            if median is not None:
+                medians[combo].append(median)
     return Fig3Result(
         n_blocks=len(cs),
         median_scan_s={o: np.asarray(v) for o, v in medians.items()},

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..datasets.builder import DatasetBuilder
+from ..runtime.engine import CampaignEngine, default_engine
 from .common import bench_scale, covid_world, fmt_table
 
 __all__ = ["Table3Result", "run", "RECONSTRUCTION_OPTIONS"]
@@ -71,12 +72,18 @@ class Table3Result:
         }
 
 
-def run(n_blocks: int | None = None, seed: int = 22) -> Table3Result:
+def run(
+    n_blocks: int | None = None,
+    seed: int = 22,
+    *,
+    engine: CampaignEngine | None = None,
+) -> Table3Result:
     n = bench_scale(260) if n_blocks is None else n_blocks
     world = covid_world(n, seed, diurnal_boost=2.0)
     builder = DatasetBuilder(world)
+    engine = engine if engine is not None else default_engine()
 
-    truth_result = builder.analyze(GROUND_TRUTH)
+    truth_result = builder.analyze(GROUND_TRUTH, engine=engine)
     responsive = {
         cidr
         for cidr, a in truth_result.analyses.items()
@@ -87,7 +94,7 @@ def run(n_blocks: int | None = None, seed: int = 22) -> Table3Result:
 
     options: dict[str, OptionCounts] = {}
     for name in RECONSTRUCTION_OPTIONS:
-        result = builder.analyze(name)
+        result = builder.analyze(name, engine=engine)
         options[name] = _counts(result, responsive, truth_cs)
     return Table3Result(n_overlap=len(responsive), truth=truth_counts, options=options)
 

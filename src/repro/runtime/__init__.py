@@ -1,0 +1,48 @@
+"""Staged campaign execution: one engine for every per-block fan-out.
+
+The paper runs its Table 1 pipeline over 5.2M /24 blocks — an
+embarrassingly parallel per-block map.  This package is the single
+seam through which the repo drives that map:
+
+* :class:`~repro.runtime.executors.Executor` — the pluggable mapping
+  strategy (:class:`SerialExecutor`, process-pool
+  :class:`ParallelExecutor` with chunked dispatch and serial fallback);
+* :class:`~repro.runtime.engine.CampaignEngine` — runs an iterable of
+  block tasks through an executor and aggregates per-stage
+  :class:`~repro.core.stages.StageRecord` instrumentation into
+  :class:`~repro.runtime.engine.RunMetrics`;
+* :class:`~repro.runtime.jobs.BlockAnalysisJob` — the picklable
+  simulate-observe-analyze task the dataset builder and the campaign
+  protocol both dispatch.
+
+``REPRO_WORKERS=N`` (or ``repro --workers N``) selects the default
+executor process-wide; see :func:`~repro.runtime.engine.default_engine`.
+"""
+
+from .engine import (
+    BlockResult,
+    CampaignEngine,
+    EngineRun,
+    RunMetrics,
+    StageTotals,
+    default_engine,
+    drain_run_log,
+    peek_run_log,
+)
+from .executors import Executor, ParallelExecutor, SerialExecutor
+from .jobs import BlockAnalysisJob
+
+__all__ = [
+    "BlockAnalysisJob",
+    "BlockResult",
+    "CampaignEngine",
+    "EngineRun",
+    "Executor",
+    "ParallelExecutor",
+    "RunMetrics",
+    "SerialExecutor",
+    "StageTotals",
+    "default_engine",
+    "drain_run_log",
+    "peek_run_log",
+]

@@ -1,0 +1,261 @@
+"""The staged campaign engine and its per-run instrumentation.
+
+:class:`CampaignEngine` maps a picklable task function over an iterable
+of block tasks through a pluggable :class:`~repro.runtime.executors.Executor`
+and aggregates the per-stage :class:`~repro.core.stages.StageRecord`
+entries each :class:`BlockResult` carries into one :class:`RunMetrics`
+(per-stage wall-time totals, funnel counters, blocks/sec).
+
+Every run is also appended to a bounded module-level log so callers
+that did not thread the engine through (e.g. ``repro --metrics``) can
+still print what happened.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from ..core.pipeline import BlockAnalysis
+from ..core.stages import PIPELINE_STAGES, StageRecord
+from .executors import Executor, ParallelExecutor, SerialExecutor
+
+__all__ = [
+    "BlockResult",
+    "CampaignEngine",
+    "EngineRun",
+    "RunMetrics",
+    "StageTotals",
+    "default_engine",
+    "drain_run_log",
+    "peek_run_log",
+]
+
+
+@dataclass(frozen=True)
+class BlockResult:
+    """One block's analysis plus the stage records that produced it."""
+
+    key: str
+    analysis: BlockAnalysis
+    stages: tuple[StageRecord, ...] = ()
+
+
+@dataclass
+class StageTotals:
+    """Aggregated stage instrumentation across one engine run."""
+
+    calls: int = 0
+    wall_s: float = 0.0
+    n_in: int = 0
+    n_out: int = 0
+    skips: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def touched(self) -> int:
+        """Blocks that reached this stage (ran or recorded a skip)."""
+        return self.calls + sum(self.skips.values())
+
+    def add(self, record: StageRecord) -> None:
+        if record.skipped is not None:
+            self.skips[record.skipped] = self.skips.get(record.skipped, 0) + 1
+            return
+        self.calls += 1
+        self.wall_s += record.wall_s
+        self.n_in += record.n_in
+        self.n_out += record.n_out
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "calls": self.calls,
+            "wall_s": self.wall_s,
+            "n_in": self.n_in,
+            "n_out": self.n_out,
+            "skips": dict(self.skips),
+        }
+
+
+@dataclass
+class RunMetrics:
+    """What one engine run did, where the time went, and what survived."""
+
+    label: str
+    executor: str
+    n_tasks: int
+    wall_s: float
+    stages: dict[str, StageTotals] = field(default_factory=dict)
+    funnel: dict[str, int] = field(default_factory=dict)
+    fallback: str | None = None
+
+    @property
+    def blocks_per_sec(self) -> float:
+        return self.n_tasks / self.wall_s if self.wall_s > 0 else float("inf")
+
+    @property
+    def stage_wall_s(self) -> float:
+        """Summed in-stage wall time (< ``wall_s`` — excludes simulation
+        overheads not recorded as a stage, > ``wall_s`` when parallel)."""
+        return sum(t.wall_s for t in self.stages.values())
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "label": self.label,
+            "executor": self.executor,
+            "n_tasks": self.n_tasks,
+            "wall_s": self.wall_s,
+            "blocks_per_sec": self.blocks_per_sec,
+            "stages": {name: t.as_dict() for name, t in self.stages.items()},
+            "funnel": dict(self.funnel),
+            "fallback": self.fallback,
+        }
+
+    def report(self) -> str:
+        """Aligned plain-text run report (the ``--metrics`` output)."""
+        lines = [
+            f"run {self.label!r}: {self.n_tasks} blocks in {self.wall_s:.2f}s "
+            f"({self.blocks_per_sec:.1f} blocks/s) on {self.executor}"
+        ]
+        if self.fallback:
+            lines.append(f"  ! fell back to serial: {self.fallback}")
+        if self.stages:
+            rows = [["stage", "calls", "skipped", "wall_s", "n_in", "n_out"]]
+            ordered = [n for n in PIPELINE_STAGES if n in self.stages]
+            ordered += [n for n in self.stages if n not in PIPELINE_STAGES]
+            for name in ordered:
+                t = self.stages[name]
+                rows.append(
+                    [
+                        name,
+                        str(t.calls),
+                        str(sum(t.skips.values())),
+                        f"{t.wall_s:.3f}",
+                        str(t.n_in),
+                        str(t.n_out),
+                    ]
+                )
+            widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+            for i, row in enumerate(rows):
+                lines.append("  " + "  ".join(c.rjust(w) for c, w in zip(row, widths)))
+                if i == 0:
+                    lines.append("  " + "  ".join("-" * w for w in widths))
+        if self.funnel:
+            funnel = "  ".join(f"{k}={v}" for k, v in self.funnel.items())
+            lines.append(f"  funnel: {funnel}")
+        return "\n".join(lines)
+
+
+@dataclass
+class EngineRun:
+    """Ordered task results plus the aggregated run metrics."""
+
+    results: list[Any]
+    metrics: RunMetrics
+
+
+#: Bounded history of recent runs, drained by ``repro --metrics``.
+_RUN_LOG: deque[RunMetrics] = deque(maxlen=64)
+
+
+def drain_run_log() -> list[RunMetrics]:
+    """Return and clear the recent-run log."""
+    out = list(_RUN_LOG)
+    _RUN_LOG.clear()
+    return out
+
+
+def peek_run_log() -> list[RunMetrics]:
+    return list(_RUN_LOG)
+
+
+class CampaignEngine:
+    """Runs block tasks through an executor and aggregates instrumentation.
+
+    One engine is reusable across runs; ``history`` keeps that engine's
+    own :class:`RunMetrics` in order (the module-level run log keeps a
+    process-wide view for the CLI).
+    """
+
+    def __init__(self, executor: Executor | None = None) -> None:
+        self.executor: Executor = executor or SerialExecutor()
+        self.history: list[RunMetrics] = []
+
+    def run(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Iterable[Any],
+        *,
+        label: str = "campaign",
+    ) -> EngineRun:
+        """Map ``fn`` over ``tasks`` and aggregate any stage records.
+
+        Results keep task order for any executor.  Task results that are
+        :class:`BlockResult` contribute stage totals and funnel counters;
+        other result types are simply counted and timed.
+        """
+        tasks = list(tasks)
+        start = time.perf_counter()
+        results = self.executor.map(fn, tasks)
+        wall_s = time.perf_counter() - start
+        metrics = self._aggregate(results, label=label, wall_s=wall_s)
+        self.history.append(metrics)
+        _RUN_LOG.append(metrics)
+        return EngineRun(results=results, metrics=metrics)
+
+    # -- aggregation -------------------------------------------------------
+    def _aggregate(self, results: list[Any], *, label: str, wall_s: float) -> RunMetrics:
+        stages: dict[str, StageTotals] = {}
+        routed = responsive = diurnal = wide = change_sensitive = 0
+        saw_blocks = False
+        for result in results:
+            if not isinstance(result, BlockResult):
+                continue
+            saw_blocks = True
+            routed += 1
+            for record in result.stages:
+                stages.setdefault(record.name, StageTotals()).add(record)
+            c = result.analysis.classification
+            if c.responsive:
+                responsive += 1
+                diurnal += int(c.is_diurnal)
+                wide += int(c.is_wide_swing)
+                change_sensitive += int(c.is_change_sensitive)
+        funnel = (
+            {
+                "routed": routed,
+                "responsive": responsive,
+                "diurnal": diurnal,
+                "wide_swing": wide,
+                "change_sensitive": change_sensitive,
+            }
+            if saw_blocks
+            else {}
+        )
+        return RunMetrics(
+            label=label,
+            executor=self.executor.name,
+            n_tasks=len(results),
+            wall_s=wall_s,
+            stages=stages,
+            funnel=funnel,
+            fallback=getattr(self.executor, "fallback_reason", None),
+        )
+
+
+def default_engine() -> CampaignEngine:
+    """Engine for callers that did not pick one: ``REPRO_WORKERS`` decides.
+
+    ``REPRO_WORKERS`` unset, empty, ``0`` or ``1`` means serial; any
+    larger value selects a process pool of that size.  The CLI's
+    ``--workers N`` flag sets this variable for the whole run.
+    """
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    try:
+        workers = int(raw) if raw else 1
+    except ValueError:
+        workers = 1
+    if workers <= 1:
+        return CampaignEngine(SerialExecutor())
+    return CampaignEngine(ParallelExecutor(workers=workers))

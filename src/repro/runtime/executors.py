@@ -1,0 +1,99 @@
+"""Pluggable task executors for the campaign engine.
+
+The executor contract is a single method::
+
+    map(fn, tasks) -> list   # results in task order
+
+``fn`` must be picklable for the parallel executor (the repo's jobs are
+frozen dataclasses with ``__call__`` — see :mod:`repro.runtime.jobs`),
+and both executors must return *identical* results for a deterministic
+``fn``: the parallel path only changes wall-clock, never values.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Iterable, Protocol, runtime_checkable
+
+__all__ = ["Executor", "ParallelExecutor", "SerialExecutor"]
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Maps a picklable callable over tasks, preserving order."""
+
+    name: str
+
+    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]: ...
+
+
+class SerialExecutor:
+    """In-process, single-threaded execution (the reference semantics)."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]:
+        return [fn(task) for task in tasks]
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class ParallelExecutor:
+    """Process-pool execution with chunked dispatch and serial fallback.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; ``None`` uses ``os.cpu_count()``.  ``workers <= 1``
+        degenerates to serial execution (no pool is spawned).
+    chunk_size:
+        Tasks per dispatch unit.  ``None`` picks a size that gives each
+        worker several chunks (amortizes pickling the job closure while
+        keeping the pool load-balanced).
+
+    Results are returned in task order regardless of completion order.
+    If the pool cannot be spawned, or breaks mid-run (e.g. a worker is
+    OOM-killed), the executor falls back to in-process execution so no
+    block is lost; ``fallback_reason`` records why.  Exceptions raised
+    by ``fn`` itself are *not* swallowed — they propagate to the caller
+    exactly as they would serially.
+    """
+
+    def __init__(self, workers: int | None = None, chunk_size: int | None = None) -> None:
+        self.workers = os.cpu_count() or 1 if workers is None else int(workers)
+        self.chunk_size = chunk_size
+        self.fallback_reason: str | None = None
+
+    @property
+    def name(self) -> str:
+        return f"parallel[{self.workers}]"
+
+    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]:
+        tasks = list(tasks)
+        self.fallback_reason = None
+        if self.workers <= 1 or len(tasks) <= 1:
+            return [fn(task) for task in tasks]
+
+        n_workers = min(self.workers, len(tasks))
+        chunk = self.chunk_size or max(1, -(-len(tasks) // (n_workers * 4)))
+        try:
+            pool = ProcessPoolExecutor(max_workers=n_workers)
+        except (OSError, ValueError, RuntimeError) as exc:
+            self.fallback_reason = f"pool spawn failed: {type(exc).__name__}: {exc}"
+            return [fn(task) for task in tasks]
+        try:
+            with pool:
+                return list(pool.map(fn, tasks, chunksize=chunk))
+        except (BrokenProcessPool, pickle.PicklingError, OSError) as exc:
+            # Pool infrastructure failure (not a task error): rerun
+            # everything in-process.  Tasks are deterministic and
+            # side-effect free, so re-execution is safe.
+            self.fallback_reason = f"pool failed: {type(exc).__name__}: {exc}"
+            return [fn(task) for task in tasks]
+
+    def __repr__(self) -> str:
+        return f"ParallelExecutor(workers={self.workers}, chunk_size={self.chunk_size})"

@@ -1,0 +1,60 @@
+"""Picklable per-block task callables dispatched by the engine.
+
+A job is a frozen dataclass whose fields are the deterministic inputs
+(world, dataset window, pipeline config) and whose ``__call__`` runs one
+block end to end.  Frozen dataclasses pickle cheaply, so the same job
+object is shipped once per chunk to pool workers; each call constructs
+its own :class:`~repro.datasets.builder.DatasetBuilder`, which keeps
+results byte-identical between serial and parallel execution (no shared
+mutable caches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.pipeline import BlockPipeline
+from ..core.stages import PIPELINE_STAGES, StageContext
+from ..datasets.catalog import DatasetSpec
+from ..net.world import BlockSpec, WorldModel
+from .engine import BlockResult
+
+__all__ = ["BlockAnalysisJob"]
+
+
+@dataclass(frozen=True)
+class BlockAnalysisJob:
+    """Simulate a block's observers and run the Table 1 pipeline on it.
+
+    Firewalled blocks (``responsive_by_design`` False) short-circuit to
+    the constant unresponsive analysis with every stage recorded as
+    skipped — they still count in the routed funnel, as in the paper's
+    Table 2.
+    """
+
+    world: WorldModel
+    ds: DatasetSpec
+    pipeline: BlockPipeline
+    observer_style: str = "adaptive"
+
+    def __call__(self, spec: BlockSpec) -> BlockResult:
+        # Imported here: datasets.builder composes over this package, so
+        # a module-level import would be circular.
+        from ..datasets.builder import DatasetBuilder, unresponsive_analysis
+
+        ctx = StageContext()
+        if not spec.responsive_by_design:
+            for name in PIPELINE_STAGES:
+                ctx.skip(name, "firewalled")
+            return BlockResult(
+                key=spec.block.cidr,
+                analysis=unresponsive_analysis(),
+                stages=tuple(ctx.records),
+            )
+        builder = DatasetBuilder(
+            self.world, self.pipeline, observer_style=self.observer_style
+        )
+        analysis = builder.analyze_block(spec, self.ds, ctx=ctx)
+        return BlockResult(
+            key=spec.block.cidr, analysis=analysis, stages=tuple(ctx.records)
+        )

@@ -58,3 +58,21 @@ class TestCampaignDayMath:
         assert campaign.date_of(campaign.day_of(d)) == d
         assert campaign.day_of(date(2019, 10, 1)) == 0
         assert campaign.day_of(date(2020, 1, 1)) == 92
+
+
+class TestCampaignScaleMemoization:
+    def test_scale_change_invalidates_cache(self, monkeypatch):
+        """REPRO_SCALE must be resolved before the memoized call: changing
+        it between calls yields a fresh campaign, not the old scale's."""
+        from repro.experiments.common import covid_campaign
+
+        monkeypatch.setenv("REPRO_SCALE", "16")
+        small = covid_campaign()
+        assert small.world.n_blocks == 16
+
+        monkeypatch.setenv("REPRO_SCALE", "24")
+        bigger = covid_campaign()
+        assert bigger.world.n_blocks == 24
+
+        monkeypatch.setenv("REPRO_SCALE", "16")
+        assert covid_campaign() is small  # same scale still hits the cache

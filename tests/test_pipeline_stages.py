@@ -1,0 +1,131 @@
+"""Tests for the staged pipeline decomposition and StageContext."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import BlockPipeline
+from repro.core.stages import PIPELINE_STAGES, StageContext
+from repro.net.observations import ObservationSeries
+
+
+def _series(times, addresses=None, results=None) -> ObservationSeries:
+    times = np.asarray(times, dtype=np.float64)
+    if addresses is None:
+        addresses = np.zeros(times.size, dtype=np.int16)
+    if results is None:
+        results = np.ones(times.size, dtype=bool)
+    return ObservationSeries(times, addresses, results, observer="e")
+
+
+class TestStageContext:
+    def test_stage_records_time_and_sizes(self):
+        ctx = StageContext()
+        with ctx.stage("combine", n_in=10) as active:
+            active.n_out = 7
+        (record,) = ctx.records
+        assert record.name == "combine"
+        assert record.ran
+        assert record.n_in == 10 and record.n_out == 7
+        assert record.wall_s >= 0.0
+
+    def test_stage_records_even_when_body_raises(self):
+        ctx = StageContext()
+        with pytest.raises(RuntimeError):
+            with ctx.stage("trend", n_in=3):
+                raise RuntimeError("stl blew up")
+        assert ctx.last("trend").n_out == 0
+
+    def test_skip_reason(self):
+        ctx = StageContext()
+        ctx.skip("detect", "no-trend", n_in=5)
+        record = ctx.last("detect")
+        assert not record.ran
+        assert record.skipped == "no-trend"
+
+    def test_helpers(self):
+        ctx = StageContext()
+        with ctx.stage("repair", n_in=1):
+            pass
+        ctx.skip("repair", "disabled")
+        assert len(ctx.by_name("repair")) == 2
+        assert ctx.last("repair").skipped == "disabled"
+        assert ctx.last("missing") is None
+        assert ctx.total_wall_s >= 0.0
+        assert ctx.as_dict()["repair"]["skipped"] == "disabled"
+
+
+class TestStagedAnalyze:
+    def test_analyze_records_all_six_stages(self, workplace_block):
+        _, truth, _, log = workplace_block
+        ctx = StageContext()
+        BlockPipeline(detect_on_all=True).analyze(
+            [log], truth.addresses, sample_times=truth.col_times, ctx=ctx
+        )
+        names = [r.name for r in ctx.records]
+        assert names == list(PIPELINE_STAGES)
+
+    def test_stage_composition_equals_analyze(self, workplace_block):
+        """Calling the stages one by one reproduces analyze() exactly."""
+        _, truth, _, log = workplace_block
+        pipeline = BlockPipeline(detect_on_all=True)
+        whole = pipeline.analyze([log], truth.addresses, sample_times=truth.col_times)
+
+        per_observer = pipeline.stage_repair([log])
+        merged = pipeline.stage_combine(per_observer)
+        recon = pipeline.stage_reconstruct(merged, truth.addresses, truth.col_times)
+        classification = pipeline.stage_classify(recon)
+        trend = pipeline.stage_trend(recon, classification)
+        changes = pipeline.stage_detect(recon, trend)
+
+        assert pickle.dumps(classification) == pickle.dumps(whole.classification)
+        np.testing.assert_array_equal(recon.counts.values, whole.counts.values)
+        assert (trend is None) == (whole.trend is None)
+        if changes is not None and whole.changes is not None:
+            assert changes.events == whole.changes.events
+
+    def test_repair_disabled_records_skip(self, workplace_block):
+        _, truth, _, log = workplace_block
+        ctx = StageContext()
+        BlockPipeline(apply_repair=False).analyze(
+            [log], truth.addresses, sample_times=truth.col_times, ctx=ctx
+        )
+        assert ctx.last("repair").skipped == "disabled"
+
+    def test_trend_skip_reasons(self):
+        pipeline = BlockPipeline()
+        ctx = StageContext()
+        empty = _series([])
+        recon = pipeline.stage_reconstruct(empty, np.array([], dtype=np.int16), ctx=ctx)
+        classification = pipeline.stage_classify(recon, ctx=ctx)
+        assert pipeline.stage_trend(recon, classification, ctx=ctx) is None
+        assert ctx.last("trend").skipped == "not-responsive"
+        assert pipeline.stage_detect(recon, None, ctx=ctx) is None
+        assert ctx.last("detect").skipped == "no-trend"
+
+
+class TestDefaultGrid:
+    def test_single_observation_grid_covers_it(self):
+        pipeline = BlockPipeline(sample_seconds=660.0)
+        # observation exactly on a grid boundary: span would be zero
+        grid = pipeline._default_grid(_series([6600.0]))
+        assert grid.size >= 2
+        assert grid[0] <= 6600.0 <= grid[-1]
+        assert np.all(np.diff(grid) > 0)
+
+    def test_single_off_grid_observation(self):
+        pipeline = BlockPipeline(sample_seconds=660.0)
+        grid = pipeline._default_grid(_series([6601.5]))
+        assert grid[0] <= 6601.5 <= grid[-1]
+
+    def test_grid_always_reaches_last_observation(self):
+        pipeline = BlockPipeline(sample_seconds=660.0)
+        times = [0.0, 660.0, 1320.0, 1320.0]  # duplicate final round
+        grid = pipeline._default_grid(_series(times))
+        assert grid[-1] >= times[-1]
+
+    def test_empty_series_gives_empty_grid(self):
+        assert BlockPipeline()._default_grid(_series([])).size == 0

@@ -1,0 +1,198 @@
+"""Tests for the campaign engine, executors, and run metrics."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+import repro.runtime.executors as executors_mod
+from repro.core.pipeline import BlockPipeline
+from repro.core.stages import PIPELINE_STAGES
+from repro.datasets.builder import DatasetBuilder
+from repro.datasets.catalog import dataset
+from repro.net.world import WorldModel, scenario_covid2020
+from repro.runtime import (
+    BlockAnalysisJob,
+    BlockResult,
+    CampaignEngine,
+    ParallelExecutor,
+    SerialExecutor,
+    default_engine,
+)
+
+DATASET = "2020it89-match-ejnw"  # two weeks, four observers: cheap but real
+
+
+@pytest.fixture(scope="module")
+def world200() -> WorldModel:
+    """The acceptance-scale world: 200 routed blocks."""
+    return WorldModel(scenario_covid2020(), n_blocks=200, seed=7)
+
+
+@pytest.fixture(scope="module")
+def serial_result(world200):
+    engine = CampaignEngine(SerialExecutor())
+    return DatasetBuilder(world200).analyze(DATASET, engine=engine)
+
+
+class TestSerialParallelEquivalence:
+    def test_parallel_matches_serial_byte_identical(self, world200, serial_result):
+        engine = CampaignEngine(ParallelExecutor(workers=2))
+        parallel = DatasetBuilder(world200).analyze(DATASET, engine=engine)
+        assert engine.executor.fallback_reason is None
+        assert list(parallel.analyses) == list(serial_result.analyses)
+        for cidr, analysis in parallel.analyses.items():
+            assert pickle.dumps(analysis) == pickle.dumps(
+                serial_result.analyses[cidr]
+            ), f"parallel diverged from serial for {cidr}"
+
+    def test_workers_one_degenerates_to_serial(self, world200, serial_result):
+        executor = ParallelExecutor(workers=1)
+        engine = CampaignEngine(executor)
+        result = DatasetBuilder(world200).analyze(DATASET, engine=engine)
+        assert result.funnel() == serial_result.funnel()
+        assert engine.history[-1].executor == "parallel[1]"
+
+
+class TestRunMetrics:
+    def test_stage_totals_cover_routed_blocks(self, serial_result):
+        metrics = serial_result.metrics
+        assert metrics is not None
+        routed = metrics.funnel["routed"]
+        assert routed == 200
+        for name in PIPELINE_STAGES:
+            totals = metrics.stages[name]
+            assert totals.touched >= routed, name
+
+    def test_funnel_matches_dataset_result(self, serial_result):
+        funnel = serial_result.funnel()
+        assert serial_result.metrics.funnel == {
+            "routed": funnel.routed,
+            "responsive": funnel.responsive,
+            "diurnal": funnel.diurnal,
+            "wide_swing": funnel.wide_swing,
+            "change_sensitive": funnel.change_sensitive,
+        }
+
+    def test_firewalled_blocks_skip_every_stage(self, serial_result):
+        # every pipeline stage must see the same firewalled-skip count
+        metrics = serial_result.metrics
+        firewalled = {
+            name: metrics.stages[name].skips.get("firewalled", 0)
+            for name in PIPELINE_STAGES
+        }
+        assert len(set(firewalled.values())) == 1
+        assert firewalled["repair"] > 0  # the world does have firewalled blocks
+
+    def test_report_and_dict(self, serial_result):
+        metrics = serial_result.metrics
+        text = metrics.report()
+        assert "blocks/s" in text and "reconstruct" in text and "funnel:" in text
+        d = metrics.as_dict()
+        assert d["n_tasks"] == 200
+        assert set(d["stages"]) >= set(PIPELINE_STAGES)
+        assert d["funnel"]["routed"] == 200
+
+    def test_simulate_stage_dominates(self, serial_result):
+        # observation simulation is the hot path; the record must exist
+        assert serial_result.metrics.stages["simulate"].calls > 0
+
+
+class TestFallback:
+    def test_pool_spawn_failure_falls_back_to_serial(self, monkeypatch, world200):
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no processes for you")
+
+        monkeypatch.setattr(executors_mod, "ProcessPoolExecutor", ExplodingPool)
+        executor = ParallelExecutor(workers=2)
+        engine = CampaignEngine(executor)
+        blocks = list(world200.blocks)[:20]
+        result = DatasetBuilder(world200).analyze(DATASET, blocks=blocks, engine=engine)
+        assert len(result.analyses) == 20  # no block lost
+        assert "pool spawn failed" in executor.fallback_reason
+        assert engine.history[-1].fallback == executor.fallback_reason
+
+    def test_fallback_results_match_serial(self, monkeypatch, world200, serial_result):
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("boom")
+
+        monkeypatch.setattr(executors_mod, "ProcessPoolExecutor", ExplodingPool)
+        engine = CampaignEngine(ParallelExecutor(workers=2))
+        blocks = list(world200.blocks)[:20]
+        result = DatasetBuilder(world200).analyze(DATASET, blocks=blocks, engine=engine)
+        for cidr, analysis in result.analyses.items():
+            assert pickle.dumps(analysis) == pickle.dumps(
+                serial_result.analyses[cidr]
+            )
+
+
+class TestEngineGenerics:
+    def test_ordering_preserved_for_plain_tasks(self):
+        engine = CampaignEngine(ParallelExecutor(workers=2, chunk_size=3))
+        run = engine.run(_square, list(range(20)), label="squares")
+        assert run.results == [i * i for i in range(20)]
+        assert run.metrics.n_tasks == 20
+        assert run.metrics.funnel == {}  # no BlockResults -> no funnel
+
+    def test_engine_history_accumulates(self):
+        engine = CampaignEngine()
+        engine.run(_square, [1, 2], label="a")
+        engine.run(_square, [3], label="b")
+        assert [m.label for m in engine.history] == ["a", "b"]
+        assert engine.history[0].executor == "serial"
+
+    def test_task_exception_propagates(self):
+        engine = CampaignEngine(ParallelExecutor(workers=2))
+        with pytest.raises(ValueError, match="bad task"):
+            engine.run(_explode, list(range(8)), label="explode")
+
+
+class TestDefaultEngine:
+    def test_unset_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert isinstance(default_engine().executor, SerialExecutor)
+
+    def test_env_selects_parallel(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        executor = default_engine().executor
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.workers == 3
+
+    def test_garbage_env_is_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        assert isinstance(default_engine().executor, SerialExecutor)
+
+
+class TestBlockAnalysisJob:
+    def test_job_is_picklable(self, world200):
+        job = BlockAnalysisJob(
+            world=world200, ds=dataset(DATASET), pipeline=BlockPipeline()
+        )
+        clone = pickle.loads(pickle.dumps(job))
+        spec = next(s for s in world200.blocks if s.responsive_by_design)
+        a = job(spec)
+        b = clone(spec)
+        assert isinstance(a, BlockResult)
+        assert pickle.dumps(a.analysis) == pickle.dumps(b.analysis)
+
+    def test_firewalled_block_short_circuits(self, world200):
+        job = BlockAnalysisJob(
+            world=world200, ds=dataset(DATASET), pipeline=BlockPipeline()
+        )
+        spec = next(s for s in world200.blocks if not s.responsive_by_design)
+        result = job(spec)
+        assert not result.analysis.classification.responsive
+        assert all(r.skipped == "firewalled" for r in result.stages)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _explode(x: int) -> int:
+    if x == 5:
+        raise ValueError("bad task")
+    return x
