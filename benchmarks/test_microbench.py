@@ -141,3 +141,27 @@ def test_engine_parallel_world(benchmark, engine_world, serial_reference):
         assert pickle.dumps(analysis) == pickle.dumps(
             serial_reference.analyses[cidr]
         ), f"parallel analysis diverged from serial for {cidr}"
+
+
+def test_engine_traced_world(benchmark, engine_world, serial_reference):
+    """Whole-world analysis with full telemetry on: spans + metric shipping.
+
+    The delta against ``test_engine_serial_world`` is the tracing
+    overhead (span records, per-task registry swaps, snapshot merging);
+    it should stay in the low single-digit percent of run wall time.
+    """
+    from repro.obs.trace import Tracer, use_tracer
+
+    def traced():
+        with use_tracer(Tracer()) as tracer:
+            result = _engine_analyze(engine_world, SerialExecutor())
+        print(f"  ({len(tracer.finished)} spans recorded)")
+        return result
+
+    result = benchmark.pedantic(traced, rounds=1, iterations=1)
+    assert result.metrics.meters is not None
+    assert result.metrics.meters["engine.tasks"]["value"] == engine_world.n_blocks
+    for cidr, analysis in result.analyses.items():
+        assert pickle.dumps(analysis) == pickle.dumps(
+            serial_reference.analyses[cidr]
+        ), f"traced analysis diverged from untraced for {cidr}"

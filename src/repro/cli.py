@@ -9,6 +9,8 @@
     REPRO_SCALE=200 repro fig8 # scale the simulated world down/up
     repro --workers 4 table2   # fan block analysis out over 4 processes
     repro --metrics fig3       # print per-stage engine instrumentation
+    repro --trace out/ fig3    # also write spans.jsonl/metrics.jsonl/run.json
+    repro report out/          # re-render a saved run from disk (no rerun)
 """
 
 from __future__ import annotations
@@ -32,13 +34,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name (see 'repro list'), 'list', 'all', or 'export'",
+        help=(
+            "experiment name (see 'repro list'), 'list', 'all', 'export', "
+            "or 'report'"
+        ),
     )
     parser.add_argument(
         "destination",
         nargs="?",
         default="repro_results",
-        help="output directory for 'export' (default: repro_results)",
+        help=(
+            "output directory for 'export' (default: repro_results); "
+            "trace directory to read for 'report'"
+        ),
     )
     parser.add_argument(
         "--workers",
@@ -54,6 +62,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--metrics",
         action="store_true",
         help="print per-stage engine instrumentation after the run",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help=(
+            "record hierarchical spans and write DIR/spans.jsonl, "
+            "DIR/metrics.jsonl and the DIR/run.json manifest after the run"
+        ),
     )
     return parser
 
@@ -94,6 +111,63 @@ def _print_metrics() -> None:
         print(metrics.report(), file=sys.stderr)
 
 
+def _report(directory: str) -> int:
+    """Re-render a saved traced run (stage tables + funnel) from disk."""
+    from .obs.sinks import load_run, render_report
+
+    try:
+        saved = load_run(directory)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(render_report(saved))
+    return 0
+
+
+def _write_trace(directory: str, tracer, experiment: str) -> None:
+    """Persist the run's spans, per-run metrics, and manifest."""
+    from .obs.metrics import get_registry
+    from .obs.sinks import write_run
+    from .runtime import peek_run_log
+
+    out = write_run(
+        directory,
+        tracer=tracer,
+        runs=peek_run_log(),
+        label=experiment,
+        meters=get_registry().snapshot(),
+    )
+    print(f"trace written to {out}/", file=sys.stderr)
+
+
+def _dispatch(name: str, args: argparse.Namespace) -> int:
+    """Run one experiment / 'all' / 'export'; returns the exit code."""
+    if name == "export":
+        return _export(args.destination)
+
+    if name == "all":
+        failures = []
+        for key, module in REGISTRY.items():
+            print(f"=== {key} ===")
+            try:
+                module.main()
+            except Exception as exc:  # surface which experiment broke
+                failures.append(key)
+                print(f"experiment {key} failed: {exc}", file=sys.stderr)
+            print()
+        if failures:
+            print(f"failed experiments: {', '.join(failures)}", file=sys.stderr)
+            return 1
+        return 0
+
+    module = REGISTRY.get(name)
+    if module is None:
+        print(f"unknown experiment {name!r}; try 'repro list'", file=sys.stderr)
+        return 2
+    module.main()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     name = args.experiment
@@ -110,32 +184,27 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {key:20s} {doc}")
         return 0
 
+    if name == "report":
+        return _report(args.destination)
+
+    tracer = None
+    if args.trace is not None:
+        from .obs.trace import NOOP, Tracer, set_tracer
+
+        tracer = Tracer()
+        set_tracer(tracer)
+
     try:
-        if name == "export":
-            return _export(args.destination)
-
-        if name == "all":
-            failures = []
-            for key, module in REGISTRY.items():
-                print(f"=== {key} ===")
-                try:
-                    module.main()
-                except Exception as exc:  # surface which experiment broke
-                    failures.append(key)
-                    print(f"experiment {key} failed: {exc}", file=sys.stderr)
-                print()
-            if failures:
-                print(f"failed experiments: {', '.join(failures)}", file=sys.stderr)
-                return 1
-            return 0
-
-        module = REGISTRY.get(name)
-        if module is None:
-            print(f"unknown experiment {name!r}; try 'repro list'", file=sys.stderr)
-            return 2
-        module.main()
-        return 0
+        if tracer is not None:
+            with tracer.span(
+                "run", attrs={"experiment": name, "argv": " ".join(argv or sys.argv[1:])}
+            ):
+                return _dispatch(name, args)
+        return _dispatch(name, args)
     finally:
+        if tracer is not None:
+            set_tracer(NOOP)
+            _write_trace(args.trace, tracer, name)
         if args.metrics:
             _print_metrics()
 

@@ -18,6 +18,9 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
+
 __all__ = ["PIPELINE_STAGES", "StageContext", "StageRecord"]
 
 #: Canonical stage order of :meth:`repro.core.pipeline.BlockPipeline.analyze`.
@@ -58,24 +61,34 @@ class StageContext:
 
     @contextmanager
     def stage(self, name: str, *, n_in: int = 0) -> Iterator[_ActiveStage]:
-        """Time a stage body; set ``.n_out`` on the yielded handle."""
+        """Time a stage body; set ``.n_out`` on the yielded handle.
+
+        Besides the :class:`StageRecord`, every invocation feeds the
+        stage's latency histogram in the ambient metrics registry and —
+        when tracing is enabled — closes a ``stage:<name>`` span under
+        the enclosing block span.
+        """
         active = _ActiveStage()
+        tracer = get_tracer()
+        span_cm = tracer.span(f"stage:{name}") if tracer.enabled else None
+        span = span_cm.__enter__() if span_cm is not None else None
         start = time.perf_counter()
         try:
             yield active
         finally:
+            wall_s = time.perf_counter() - start
             self.records.append(
-                StageRecord(
-                    name=name,
-                    wall_s=time.perf_counter() - start,
-                    n_in=n_in,
-                    n_out=active.n_out,
-                )
+                StageRecord(name=name, wall_s=wall_s, n_in=n_in, n_out=active.n_out)
             )
+            get_registry().histogram(f"stage.{name}.wall_s").observe(wall_s)
+            if span_cm is not None:
+                span.set(n_in=n_in, n_out=active.n_out)
+                span_cm.__exit__(None, None, None)
 
     def skip(self, name: str, reason: str, *, n_in: int = 0) -> None:
         """Record that a stage was not run and why."""
         self.records.append(StageRecord(name=name, n_in=n_in, skipped=reason))
+        get_registry().counter(f"stage.{name}.skips.{reason}").inc()
 
     # -- inspection helpers -------------------------------------------------
     def by_name(self, name: str) -> list[StageRecord]:
@@ -92,13 +105,29 @@ class StageContext:
         return sum(r.wall_s for r in self.records)
 
     def as_dict(self) -> dict[str, dict[str, object]]:
-        """Last record per stage name, as plain dicts (JSON-friendly)."""
+        """Per-stage summary as plain dicts (JSON-friendly).
+
+        Repeated invocations of one stage (e.g. re-runs through the
+        composable ``stage_*`` methods) aggregate instead of silently
+        keeping only the last record: ``wall_s`` sums over calls,
+        ``calls`` counts them, and ``n_in``/``n_out``/``skipped``
+        reflect the most recent invocation.
+        """
         out: dict[str, dict[str, object]] = {}
         for r in self.records:
-            out[r.name] = {
-                "wall_s": r.wall_s,
-                "n_in": r.n_in,
-                "n_out": r.n_out,
-                "skipped": r.skipped,
-            }
+            d = out.get(r.name)
+            if d is None:
+                out[r.name] = {
+                    "wall_s": r.wall_s,
+                    "n_in": r.n_in,
+                    "n_out": r.n_out,
+                    "skipped": r.skipped,
+                    "calls": 1,
+                }
+            else:
+                d["wall_s"] += r.wall_s
+                d["n_in"] = r.n_in
+                d["n_out"] = r.n_out
+                d["skipped"] = r.skipped
+                d["calls"] += 1
         return out

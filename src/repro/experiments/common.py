@@ -25,6 +25,7 @@ from ..core.pipeline import BlockAnalysis, BlockPipeline
 from ..datasets.builder import DatasetBuilder, DatasetResult, block_record
 from ..datasets.catalog import dataset
 from ..net.world import WorldModel, scenario_baseline2023, scenario_covid2020
+from ..obs.trace import get_tracer
 from ..runtime.engine import CampaignEngine, RunMetrics, default_engine
 
 __all__ = [
@@ -111,6 +112,25 @@ def _run_campaign(
     uses — serial or parallel is purely the executor's business.
     """
     engine = engine if engine is not None else default_engine()
+    # tag every span the engine opens below (the two campaign spans and
+    # their block/stage children) with the protocol's identity, so a
+    # saved trace says which §3.4 run each subtree belongs to
+    with get_tracer().tagged(
+        protocol="s3.4",
+        baseline=baseline_name,
+        window=window_name,
+        n_blocks=world.n_blocks,
+    ):
+        return _run_campaign_tagged(world, baseline_name, window_name, engine=engine)
+
+
+def _run_campaign_tagged(
+    world: WorldModel,
+    baseline_name: str,
+    window_name: str,
+    *,
+    engine: CampaignEngine,
+) -> Campaign:
     builder = DatasetBuilder(world)
     baseline = builder.analyze(baseline_name, engine=engine)
     cs_set = set(baseline.change_sensitive())

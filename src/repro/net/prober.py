@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.metrics import get_registry
 from .loss import LossModel, NoLoss
 from .observations import ObservationSeries
 from .usage import BlockTruth
@@ -25,8 +26,23 @@ from .usage import BlockTruth
 __all__ = [
     "TrinocularObserver",
     "AdditionalProber",
+    "count_probe_volume",
     "probe_order",
 ]
+
+
+def count_probe_volume(kind: str, series: ObservationSeries) -> ObservationSeries:
+    """Feed the probe-volume counters and return ``series`` unchanged.
+
+    ``probes.sent.<kind>`` counts every probe an observer simulator
+    emitted; ``probes.positive.<kind>`` the replies.  The paper sizes
+    real probing budgets from exactly these volumes (§2.7–§2.8), so the
+    telemetry layer tracks them per observer family.
+    """
+    registry = get_registry()
+    registry.counter(f"probes.sent.{kind}").inc(len(series))
+    registry.counter(f"probes.positive.{kind}").inc(int(np.sum(series.results)))
+    return series
 
 
 def probe_order(n_targets: int, seed: int) -> np.ndarray:
@@ -143,11 +159,14 @@ class TrinocularObserver:
                 t += spacing
                 if t >= end_s:
                     break
-        return ObservationSeries(
-            times=np.asarray(times, dtype=np.float64),
-            addresses=np.asarray(addrs, dtype=np.int16),
-            results=np.asarray(results, dtype=bool),
-            observer=self.name,
+        return count_probe_volume(
+            "trinocular",
+            ObservationSeries(
+                times=np.asarray(times, dtype=np.float64),
+                addresses=np.asarray(addrs, dtype=np.int16),
+                results=np.asarray(results, dtype=bool),
+                observer=self.name,
+            ),
         )
 
 
@@ -224,9 +243,12 @@ class AdditionalProber:
         if loss.max_probability() > 0:
             lost = rng.random(t.size) < loss.loss_probability(t)
             states = states & ~lost
-        return ObservationSeries(
-            times=t,
-            addresses=truth.addresses[order_idx],
-            results=states,
-            observer=self.name,
+        return count_probe_volume(
+            "additional",
+            ObservationSeries(
+                times=t,
+                addresses=truth.addresses[order_idx],
+                results=states,
+                observer=self.name,
+            ),
         )

@@ -14,6 +14,7 @@ import numpy as np
 
 from .loss import LossModel, NoLoss
 from .observations import ObservationSeries
+from .prober import count_probe_volume
 from .usage import BlockTruth
 
 __all__ = ["SurveyObserver"]
@@ -74,9 +75,12 @@ class SurveyObserver:
         if loss.max_probability() > 0:
             lost = rng.random(t.size) < loss.loss_probability(t)
             states = states & ~lost
-        return ObservationSeries(
-            times=t,
-            addresses=truth.addresses[order_idx],
-            results=states,
-            observer=self.name,
+        return count_probe_volume(
+            "survey",
+            ObservationSeries(
+                times=t,
+                addresses=truth.addresses[order_idx],
+                results=states,
+                observer=self.name,
+            ),
         )

@@ -1,0 +1,62 @@
+"""Telemetry for the campaign engine: tracing, metrics, durable sinks.
+
+Three pillars (see docs/algorithms.md, "Observability"):
+
+* :mod:`repro.obs.trace` — hierarchical spans
+  (run -> campaign -> block -> stage) recorded by an ambient
+  :class:`~repro.obs.trace.Tracer`; the default is a zero-cost no-op,
+  and worker-process span fragments ship home with task results;
+* :mod:`repro.obs.metrics` — a :class:`~repro.obs.metrics.MetricsRegistry`
+  of counters, gauges, and fixed-bucket histograms with
+  snapshot / reset / merge semantics (worker snapshots fold into the
+  parent's registry);
+* :mod:`repro.obs.sinks` — JSONL span/metrics writers plus a ``run.json``
+  manifest so any experiment run is reconstructable after the fact
+  (``repro --trace DIR`` to write, ``repro report DIR`` to re-render).
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    scoped_registry,
+    set_registry,
+)
+from .trace import (
+    NOOP,
+    NoopTracer,
+    SpanRecord,
+    Tracer,
+    annotate,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+from .sinks import SavedRun, git_describe, load_run, render_report, write_run
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP",
+    "NoopTracer",
+    "SavedRun",
+    "SpanRecord",
+    "Tracer",
+    "annotate",
+    "get_registry",
+    "get_tracer",
+    "git_describe",
+    "load_run",
+    "render_report",
+    "scoped_registry",
+    "set_registry",
+    "set_tracer",
+    "use_tracer",
+    "write_run",
+]

@@ -1,0 +1,213 @@
+"""A small metrics registry: counters, gauges, fixed-bucket histograms.
+
+Instruments are named get-or-create (``registry.counter("probes.sent")``)
+so instrumentation points stay one-liners.  The registry's unit of
+exchange is the *snapshot*: a plain JSON-friendly dict that pickles
+cheaply, ships back from pool workers, merges into another registry
+(:meth:`MetricsRegistry.merge`), and lands verbatim in run manifests.
+
+Worker isolation uses :func:`scoped_registry`: the engine's traced task
+wrapper swaps a fresh registry in around each task (in the worker
+process — or in-process for the serial executor, which keeps the two
+paths identical), snapshots it, and ships the delta home.  Increments
+are a dict lookup plus an int add, so the instruments stay on
+unconditionally; only the shipping is gated on tracing.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Any, Iterator, Sequence
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "scoped_registry",
+    "set_registry",
+]
+
+#: Seconds; tuned for per-stage latencies (sub-ms repair to multi-s simulate).
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A last-write-wins float (pool sizes, chunk sizes, scales)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Cumulative-style histogram over fixed, sorted bucket boundaries.
+
+    Bucket ``i`` counts observations ``v <= bounds[i]``; one overflow
+    bucket catches the rest.  Fixed boundaries make worker snapshots
+    mergeable by plain element-wise addition.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram buckets must be strictly increasing: {bounds}")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q`` quantile from bucket counts."""
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for bound, n in zip(self.bounds, self.counts):
+            seen += n
+            if seen >= target:
+                return bound
+        return self.bounds[-1]  # in the overflow bucket: clamp to the last bound
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments with snapshot / reset / merge semantics."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls: type, factory) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, not a {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, Gauge)
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(buckets))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """JSON-friendly state of every instrument, sorted by name."""
+        return {name: self._metrics[name].as_dict() for name in sorted(self._metrics)}
+
+    def reset(self) -> dict[str, dict[str, Any]]:
+        """Snapshot, then drop every instrument; returns the snapshot."""
+        snap = self.snapshot()
+        self._metrics.clear()
+        return snap
+
+    def merge(self, snapshot: dict[str, dict[str, Any]]) -> None:
+        """Fold a snapshot (e.g. shipped from a worker) into this registry.
+
+        Counters and histogram buckets add; gauges take the incoming
+        value.  Histogram boundaries must match exactly — mismatched
+        buckets cannot be combined and raise ``ValueError``.
+        """
+        for name, data in snapshot.items():
+            kind = data["type"]
+            if kind == "counter":
+                self.counter(name).inc(data["value"])
+            elif kind == "gauge":
+                self.gauge(name).set(data["value"])
+            elif kind == "histogram":
+                hist = self.histogram(name, buckets=data["bounds"])
+                if list(hist.bounds) != [float(b) for b in data["bounds"]]:
+                    raise ValueError(
+                        f"histogram {name!r} bucket mismatch: "
+                        f"{list(hist.bounds)} != {data['bounds']}"
+                    )
+                hist.counts = [a + b for a, b in zip(hist.counts, data["counts"])]
+                hist.sum += data["sum"]
+                hist.count += data["count"]
+            else:
+                raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+
+
+#: Process-wide registry the instrumentation points report into.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` process-wide; returns the previous one."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry
+    return previous
+
+
+@contextmanager
+def scoped_registry(registry: MetricsRegistry | None = None) -> Iterator[MetricsRegistry]:
+    """Swap in a fresh (or given) registry for the duration of the block."""
+    registry = registry if registry is not None else MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

@@ -24,7 +24,9 @@ from .engine import (
     CampaignEngine,
     EngineRun,
     RunMetrics,
+    ShippedResult,
     StageTotals,
+    TracedCall,
     default_engine,
     drain_run_log,
     peek_run_log,
@@ -41,7 +43,9 @@ __all__ = [
     "ParallelExecutor",
     "RunMetrics",
     "SerialExecutor",
+    "ShippedResult",
     "StageTotals",
+    "TracedCall",
     "default_engine",
     "drain_run_log",
     "peek_run_log",

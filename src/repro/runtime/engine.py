@@ -15,12 +15,15 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
 from ..core.pipeline import BlockAnalysis
 from ..core.stages import PIPELINE_STAGES, StageRecord
+from ..obs.metrics import MetricsRegistry, get_registry, scoped_registry
+from ..obs.trace import NoopTracer, SpanRecord, Tracer, get_tracer, use_tracer
 from .executors import Executor, ParallelExecutor, SerialExecutor
 
 __all__ = [
@@ -28,7 +31,9 @@ __all__ = [
     "CampaignEngine",
     "EngineRun",
     "RunMetrics",
+    "ShippedResult",
     "StageTotals",
+    "TracedCall",
     "default_engine",
     "drain_run_log",
     "peek_run_log",
@@ -42,6 +47,47 @@ class BlockResult:
     key: str
     analysis: BlockAnalysis
     stages: tuple[StageRecord, ...] = ()
+
+
+@dataclass(frozen=True)
+class ShippedResult:
+    """A task result plus the telemetry recorded while producing it.
+
+    Worker processes cannot write into the parent's tracer or metrics
+    registry, so a traced run wraps every task in :class:`TracedCall`,
+    which records into process-local fragments and ships them home
+    inside this envelope.  The engine unwraps ``value`` before
+    aggregation, so task functions and their callers never see it.
+    """
+
+    value: Any
+    spans: tuple[SpanRecord, ...] = ()
+    meters: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TracedCall:
+    """Picklable wrapper that records one task's spans and metrics.
+
+    Opens a ``block`` span parented under the campaign span (so worker
+    fragments re-attach into one rooted tree), swaps in a fresh metrics
+    registry for the task body, and ships both back with the result.
+    The serial executor runs the exact same wrapper in-process, keeping
+    serial and parallel telemetry — and results — identical.
+    """
+
+    fn: Callable[[Any], Any]
+    trace_id: str
+    parent_id: str
+
+    def __call__(self, task: Any) -> ShippedResult:
+        tracer = Tracer(trace_id=self.trace_id, root_parent_id=self.parent_id)
+        with scoped_registry() as registry, use_tracer(tracer):
+            with tracer.span("block", attrs={"pid": os.getpid()}):
+                value = self.fn(task)
+        return ShippedResult(
+            value=value, spans=tuple(tracer.finished), meters=registry.snapshot()
+        )
 
 
 @dataclass
@@ -77,6 +123,16 @@ class StageTotals:
             "skips": dict(self.skips),
         }
 
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "StageTotals":
+        return cls(
+            calls=d["calls"],
+            wall_s=d["wall_s"],
+            n_in=d["n_in"],
+            n_out=d["n_out"],
+            skips=dict(d.get("skips") or {}),
+        )
+
 
 @dataclass
 class RunMetrics:
@@ -89,10 +145,16 @@ class RunMetrics:
     stages: dict[str, StageTotals] = field(default_factory=dict)
     funnel: dict[str, int] = field(default_factory=dict)
     fallback: str | None = None
+    meters: dict[str, Any] | None = None  # merged registry snapshot (traced runs)
 
     @property
     def blocks_per_sec(self) -> float:
-        return self.n_tasks / self.wall_s if self.wall_s > 0 else float("inf")
+        # Empty or zero-time runs report 0.0, never inf/nan: the dict
+        # export feeds json.dumps, which would emit the non-standard
+        # ``Infinity`` token and break strict JSON readers.
+        if self.wall_s <= 0.0 or self.n_tasks <= 0:
+            return 0.0
+        return self.n_tasks / self.wall_s
 
     @property
     def stage_wall_s(self) -> float:
@@ -110,7 +172,25 @@ class RunMetrics:
             "stages": {name: t.as_dict() for name, t in self.stages.items()},
             "funnel": dict(self.funnel),
             "fallback": self.fallback,
+            "meters": self.meters,
         }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "RunMetrics":
+        """Rebuild from :meth:`as_dict` output (e.g. a saved trace)."""
+        return cls(
+            label=d["label"],
+            executor=d["executor"],
+            n_tasks=d["n_tasks"],
+            wall_s=d["wall_s"],
+            stages={
+                name: StageTotals.from_dict(t)
+                for name, t in (d.get("stages") or {}).items()
+            },
+            funnel=dict(d.get("funnel") or {}),
+            fallback=d.get("fallback"),
+            meters=d.get("meters"),
+        )
 
     def report(self) -> str:
         """Aligned plain-text run report (the ``--metrics`` output)."""
@@ -188,21 +268,61 @@ class CampaignEngine:
         tasks: Iterable[Any],
         *,
         label: str = "campaign",
+        tracer: Tracer | NoopTracer | None = None,
     ) -> EngineRun:
         """Map ``fn`` over ``tasks`` and aggregate any stage records.
 
         Results keep task order for any executor.  Task results that are
         :class:`BlockResult` contribute stage totals and funnel counters;
         other result types are simply counted and timed.
+
+        When the ambient (or given) tracer is enabled, the run opens a
+        ``campaign`` span, runs each task through :class:`TracedCall`
+        so per-block spans and worker metric snapshots ship back, and
+        merges the snapshots into :attr:`RunMetrics.meters` and the
+        process-wide registry.  Tracing never touches task results:
+        serial and parallel runs stay byte-identical with it on or off.
         """
+        tracer = get_tracer() if tracer is None else tracer
         tasks = list(tasks)
-        start = time.perf_counter()
-        results = self.executor.map(fn, tasks)
-        wall_s = time.perf_counter() - start
-        metrics = self._aggregate(results, label=label, wall_s=wall_s)
+        if not tracer.enabled:
+            start = time.perf_counter()
+            results = self.executor.map(fn, tasks)
+            wall_s = time.perf_counter() - start
+            metrics = self._aggregate(results, label=label, wall_s=wall_s)
+        else:
+            results, metrics = self._run_traced(fn, tasks, label=label, tracer=tracer)
         self.history.append(metrics)
         _RUN_LOG.append(metrics)
         return EngineRun(results=results, metrics=metrics)
+
+    def _run_traced(
+        self, fn: Callable[[Any], Any], tasks: list[Any], *, label: str, tracer: Tracer
+    ) -> tuple[list[Any], RunMetrics]:
+        with tracer.span(
+            "campaign",
+            attrs={"label": label, "executor": self.executor.name, "n_tasks": len(tasks)},
+        ) as span:
+            call = TracedCall(fn=fn, trace_id=tracer.trace_id, parent_id=span.span_id)
+            start = time.perf_counter()
+            shipped = self.executor.map(call, tasks)
+            wall_s = time.perf_counter() - start
+            results = [s.value for s in shipped]
+            merged = MetricsRegistry()
+            for s in shipped:
+                tracer.adopt(s.spans)
+                merged.merge(s.meters)
+            metrics = self._aggregate(results, label=label, wall_s=wall_s)
+            merged.counter("engine.tasks").inc(len(results))
+            merged.histogram("engine.run_wall_s").observe(wall_s)
+            for key, n in metrics.funnel.items():
+                merged.counter(f"funnel.{key}").inc(n)
+            metrics.meters = merged.snapshot()
+            # the process-wide registry sees worker metrics too, so the
+            # manifest's snapshot covers the whole run
+            get_registry().merge(metrics.meters)
+            span.set(wall_s=round(wall_s, 6), fallback=metrics.fallback)
+        return results, metrics
 
     # -- aggregation -------------------------------------------------------
     def _aggregate(self, results: list[Any], *, label: str, wall_s: float) -> RunMetrics:
@@ -248,14 +368,30 @@ def default_engine() -> CampaignEngine:
     """Engine for callers that did not pick one: ``REPRO_WORKERS`` decides.
 
     ``REPRO_WORKERS`` unset, empty, ``0`` or ``1`` means serial; any
-    larger value selects a process pool of that size.  The CLI's
-    ``--workers N`` flag sets this variable for the whole run.
+    larger value selects a process pool of that size.  A value that is
+    not an integer, or is negative, also runs serial — but loudly, via
+    ``warnings.warn``, instead of silently ignoring the setting.  The
+    CLI's ``--workers N`` flag sets this variable for the whole run.
     """
     raw = os.environ.get("REPRO_WORKERS", "").strip()
-    try:
-        workers = int(raw) if raw else 1
-    except ValueError:
-        workers = 1
+    workers = 1
+    if raw:
+        try:
+            workers = int(raw)
+        except ValueError:
+            warnings.warn(
+                f"REPRO_WORKERS={raw!r} is not an integer; running serial",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            workers = 1
+        if workers < 0:
+            warnings.warn(
+                f"REPRO_WORKERS={raw!r} is negative; clamping to serial",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            workers = 1
     if workers <= 1:
         return CampaignEngine(SerialExecutor())
     return CampaignEngine(ParallelExecutor(workers=workers))

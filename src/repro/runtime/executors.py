@@ -18,6 +18,8 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, Protocol, runtime_checkable
 
+from ..obs.metrics import get_registry
+
 __all__ = ["Executor", "ParallelExecutor", "SerialExecutor"]
 
 
@@ -80,10 +82,14 @@ class ParallelExecutor:
 
         n_workers = min(self.workers, len(tasks))
         chunk = self.chunk_size or max(1, -(-len(tasks) // (n_workers * 4)))
+        registry = get_registry()
+        registry.gauge("executor.pool_workers").set(n_workers)
+        registry.gauge("executor.chunk_size").set(chunk)
         try:
             pool = ProcessPoolExecutor(max_workers=n_workers)
         except (OSError, ValueError, RuntimeError) as exc:
             self.fallback_reason = f"pool spawn failed: {type(exc).__name__}: {exc}"
+            registry.counter("executor.fallbacks").inc()
             return [fn(task) for task in tasks]
         try:
             with pool:
@@ -93,6 +99,7 @@ class ParallelExecutor:
             # everything in-process.  Tasks are deterministic and
             # side-effect free, so re-execution is safe.
             self.fallback_reason = f"pool failed: {type(exc).__name__}: {exc}"
+            registry.counter("executor.fallbacks").inc()
             return [fn(task) for task in tasks]
 
     def __repr__(self) -> str:

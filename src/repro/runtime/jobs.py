@@ -17,6 +17,8 @@ from ..core.pipeline import BlockPipeline
 from ..core.stages import PIPELINE_STAGES, StageContext
 from ..datasets.catalog import DatasetSpec
 from ..net.world import BlockSpec, WorldModel
+from ..obs.metrics import get_registry
+from ..obs.trace import annotate
 from .engine import BlockResult
 
 __all__ = ["BlockAnalysisJob"]
@@ -42,8 +44,11 @@ class BlockAnalysisJob:
         # a module-level import would be circular.
         from ..datasets.builder import DatasetBuilder, unresponsive_analysis
 
+        # label the engine's per-task "block" span (no-op when untraced)
+        annotate(block=spec.block.cidr, dataset=self.ds.name)
         ctx = StageContext()
         if not spec.responsive_by_design:
+            get_registry().counter("blocks.firewalled").inc()
             for name in PIPELINE_STAGES:
                 ctx.skip(name, "firewalled")
             return BlockResult(
@@ -51,6 +56,7 @@ class BlockAnalysisJob:
                 analysis=unresponsive_analysis(),
                 stages=tuple(ctx.records),
             )
+        get_registry().counter("blocks.analyzed").inc()
         builder = DatasetBuilder(
             self.world, self.pipeline, observer_style=self.observer_style
         )

@@ -163,7 +163,8 @@ class TestDefaultEngine:
 
     def test_garbage_env_is_serial(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "many")
-        assert isinstance(default_engine().executor, SerialExecutor)
+        with pytest.warns(RuntimeWarning, match="not an integer"):
+            assert isinstance(default_engine().executor, SerialExecutor)
 
 
 class TestBlockAnalysisJob:
