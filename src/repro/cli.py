@@ -8,6 +8,7 @@
     repro export [directory]   # write campaign results as CSV/GeoJSON (S2.9)
     REPRO_SCALE=200 repro fig8 # scale the simulated world down/up
     repro --workers 4 table2   # fan block analysis out over 4 processes
+    repro --cache .cache fig3  # reuse per-block results across invocations
     repro --metrics fig3       # print per-stage engine instrumentation
     repro --trace out/ fig3    # also write spans.jsonl/metrics.jsonl/run.json
     repro report out/          # re-render a saved run from disk (no rerun)
@@ -56,6 +57,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "processes for per-block analysis (sets REPRO_WORKERS; "
             "1 = serial, the default)"
+        ),
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help=(
+            "content-addressed per-block result cache rooted at DIR "
+            "(sets REPRO_CACHE); repeated runs over unchanged worlds "
+            "reuse stored analyses instead of re-simulating"
         ),
     )
     parser.add_argument(
@@ -176,6 +187,8 @@ def main(argv: list[str] | None = None) -> int:
         # default_engine() reads this; one env var reaches every
         # experiment without threading an engine through each main().
         os.environ["REPRO_WORKERS"] = str(args.workers)
+    if args.cache is not None:
+        os.environ["REPRO_CACHE"] = args.cache
 
     if name == "list":
         print("available experiments:")

@@ -21,7 +21,12 @@ import numpy as np
 from ..net.observations import ObservationSeries
 from ..timeseries.series import TimeSeries
 
-__all__ = ["Reconstruction", "reconstruct", "full_scan_durations"]
+__all__ = [
+    "Reconstruction",
+    "reconstruct",
+    "full_scan_durations",
+    "full_scan_durations_reference",
+]
 
 
 @dataclass(frozen=True)
@@ -153,7 +158,61 @@ def full_scan_durations(
     which every E(b) address has been touched; the next scan starts at
     the following probe.  Returns an empty array when E(b) is never fully
     covered.
+
+    Vectorized: one stable argsort groups probes by address, giving each
+    probe its previous same-address index ``prev[j]``.  A scan starting
+    at ``i0`` completes at ``max{j >= i0 : prev[j] < i0}`` — the latest
+    first-occurrence-in-suffix over all addresses — found with a single
+    mask over the suffix per scan instead of one ``searchsorted`` per
+    address (the O(A·N) occurrence-dict build disappears entirely).
+    :func:`full_scan_durations_reference` keeps the scalar walk as the
+    oracle; results are identical.
     """
+    eb = np.asarray(eb_addresses)
+    if observations.is_empty or eb.size == 0:
+        return np.array([], dtype=np.float64)
+
+    in_eb = np.isin(observations.addresses, eb)
+    times = observations.times[in_eb]
+    addrs = observations.addresses[in_eb]
+    if times.size == 0:
+        return np.array([], dtype=np.float64)
+
+    uniq, inverse = np.unique(addrs, return_inverse=True)
+    n_eb = np.unique(eb).size
+    if uniq.size < n_eb:  # some E(b) address is never probed at all
+        return np.array([], dtype=np.float64)
+
+    # prev[j] = index of the previous probe of the same address, or -1;
+    # probe j is its address's first occurrence in [i0, n) iff prev[j] < i0
+    n = times.size
+    grouped = np.argsort(inverse, kind="stable")
+    gaddr = inverse[grouped]
+    prev = np.empty(n, dtype=np.int64)
+    prev[grouped[0]] = -1
+    prev[grouped[1:]] = np.where(gaddr[1:] == gaddr[:-1], grouped[:-1], -1)
+
+    durations: list[float] = []
+    i0 = 0
+    while i0 < n:
+        firsts = np.flatnonzero(prev[i0:] < i0)  # one per address in the suffix
+        if firsts.size < n_eb:  # some address never re-appears: incomplete scan
+            break
+        end = i0 + int(firsts[-1])
+        durations.append(float(times[end] - times[i0]))
+        i0 = end + 1
+        if max_scans is not None and len(durations) >= max_scans:
+            break
+    return np.asarray(durations, dtype=np.float64)
+
+
+def full_scan_durations_reference(
+    observations: ObservationSeries,
+    eb_addresses: np.ndarray,
+    *,
+    max_scans: int | None = None,
+) -> np.ndarray:
+    """Scalar-walk oracle for :func:`full_scan_durations` (tests only)."""
     eb = np.asarray(eb_addresses)
     if observations.is_empty or eb.size == 0:
         return np.array([], dtype=np.float64)

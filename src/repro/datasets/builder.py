@@ -7,8 +7,12 @@ and hands the probe logs to a :class:`~repro.core.pipeline.BlockPipeline`.
 
 Observations are cached per (block, observer) and *sliced* for narrower
 windows — mirroring the paper, which reuses one measurement stream for
-every analysis window (quarters, months, halves).  The cache is small
-(a few blocks) because experiments stream block-by-block.
+every analysis window (quarters, months, halves).  Both caches evict
+least-recently-used entries by bytes at rest (array payload size), not
+entry count, so a handful of huge blocks cannot balloon memory while
+many small blocks still fit; experiments stream block-by-block either
+way, and eviction never changes results (evicted windows are
+re-simulated deterministically).
 """
 
 from __future__ import annotations
@@ -128,10 +132,16 @@ class DatasetBuilder:
         *,
         observer_style: str = "adaptive",
         cache_blocks: int = 4,
+        cache_bytes: int | None = None,
     ) -> None:
         """``observer_style`` picks the probing algorithm: "adaptive" is
         the paper's stop-at-first-positive description; "bayesian" is the
-        full belief-driven Trinocular of [71] (see repro.net.bayesian)."""
+        full belief-driven Trinocular of [71] (see repro.net.bayesian).
+
+        ``cache_bytes`` bounds each of the truth and observation caches
+        by total array bytes at rest; when None it defaults to
+        ``cache_blocks`` x 8 MiB — roomy enough that the legacy
+        "last few blocks" working set never evicts early."""
         self.world = world
         self.pipeline = pipeline or BlockPipeline()
         if observer_style == "adaptive":
@@ -148,22 +158,45 @@ class DatasetBuilder:
         self.additional = AdditionalProber(name="a", phase_offset_s=601.0)
         self.survey = SurveyObserver(name="survey", phase_offset_s=0.0)
         self._cache_blocks = cache_blocks
+        self._cache_bytes = (
+            cache_blocks * 8 * 1024 * 1024 if cache_bytes is None else cache_bytes
+        )
         self._obs_cache: OrderedDict[tuple[str, str], tuple[float, float, ObservationSeries]] = (
             OrderedDict()
         )
         self._truth_cache: OrderedDict[str, tuple[float, BlockTruth]] = OrderedDict()
+        self._obs_cache_bytes = 0
+        self._truth_cache_bytes = 0
 
     # -- simulation -------------------------------------------------------
+    @staticmethod
+    def _truth_nbytes(truth: BlockTruth) -> int:
+        return truth.addresses.nbytes + truth.active.nbytes + truth.col_times.nbytes
+
+    @staticmethod
+    def _series_nbytes(series: ObservationSeries) -> int:
+        n = series.times.nbytes + series.addresses.nbytes + series.results.nbytes
+        if series.sources is not None:
+            n += series.sources.nbytes
+        return n
+
     def truth(self, spec: BlockSpec, start_s: float, duration_s: float) -> BlockTruth:
         """Ground truth covering at least ``[0, start+duration)``, cached."""
         end = start_s + duration_s
         cached = self._truth_cache.get(spec.block.cidr)
         if cached is not None and cached[0] >= end:
+            self._truth_cache.move_to_end(spec.block.cidr)
             return cached[1]
         truth = self.world.truth(spec, end)
+        if cached is not None:
+            self._truth_cache_bytes -= self._truth_nbytes(cached[1])
         self._truth_cache[spec.block.cidr] = (end, truth)
-        while len(self._truth_cache) > self._cache_blocks:
-            self._truth_cache.popitem(last=False)
+        self._truth_cache.move_to_end(spec.block.cidr)
+        self._truth_cache_bytes += self._truth_nbytes(truth)
+        # evict coldest-first by bytes at rest, always keeping the newest
+        while self._truth_cache_bytes > self._cache_bytes and len(self._truth_cache) > 1:
+            _, (_, old) = self._truth_cache.popitem(last=False)
+            self._truth_cache_bytes -= self._truth_nbytes(old)
         return truth
 
     def observe(
@@ -174,14 +207,20 @@ class DatasetBuilder:
         end_s = start_s + duration_s
         cached = self._obs_cache.get(key)
         if cached is not None and cached[0] <= start_s and cached[1] >= end_s:
+            self._obs_cache.move_to_end(key)
             return cached[2].slice_time(start_s, end_s)
 
         sim_start = start_s if cached is None else min(cached[0], start_s)
         sim_end = end_s if cached is None else max(cached[1], end_s)
         series = self._simulate(spec, observer, sim_start, sim_end - sim_start)
+        if cached is not None:
+            self._obs_cache_bytes -= self._series_nbytes(cached[2])
         self._obs_cache[key] = (sim_start, sim_end, series)
-        while len(self._obs_cache) > self._cache_blocks * 8:
-            self._obs_cache.popitem(last=False)
+        self._obs_cache.move_to_end(key)
+        self._obs_cache_bytes += self._series_nbytes(series)
+        while self._obs_cache_bytes > self._cache_bytes and len(self._obs_cache) > 1:
+            _, (_, _, old) = self._obs_cache.popitem(last=False)
+            self._obs_cache_bytes -= self._series_nbytes(old)
         return series.slice_time(start_s, end_s)
 
     def _simulate(

@@ -19,6 +19,7 @@ from ..datasets.builder import DatasetBuilder
 from ..datasets.catalog import DatasetSpec
 from ..net.observations import merge_observations
 from ..net.world import BlockSpec, WorldModel
+from ..runtime.cache import task_key
 from ..runtime.engine import CampaignEngine, default_engine
 from .common import bench_scale, covid_world, fmt_table
 
@@ -71,6 +72,12 @@ class _ScanTimeJob:
     world: WorldModel
     ds: DatasetSpec
     max_scans: int
+
+    def cache_key(self, spec: BlockSpec) -> str | None:
+        return task_key(
+            "fig3-scan",
+            {"world": self.world, "ds": self.ds, "max_scans": self.max_scans, "spec": spec},
+        )
 
     def __call__(self, spec: BlockSpec) -> dict[str, float | None]:
         builder = DatasetBuilder(self.world)

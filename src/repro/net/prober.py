@@ -82,6 +82,248 @@ class TrinocularObserver:
         rounds; each round sends probes until the first positive reply or
         the per-round limit.  Lost probes are recorded as non-replies —
         an observer cannot tell loss from inactivity.
+
+        Vectorized simulation, bit-identical to
+        :meth:`observe_reference` (including the uniform-draw stream the
+        loss model consumes).  The per-probe Python loop is gone:
+
+        * the permuted truth is stored column-major as one ``bytes``
+          object, so resolving a round is a single C-speed ``find`` over
+          its at-most-``max_probes`` candidate window (two ``find`` calls
+          when the window wraps the cursor or crosses a truth column) —
+          dark rounds and first-reply rounds cost the same;
+        * candidate probe times are built for all rounds at once with a
+          row-wise ``cumsum`` (sequential accumulation, so the floats
+          match the reference's repeated ``t += spacing`` exactly) and
+          truth columns are derived from them in bulk;
+        * because the cursor never resets, probe ``i`` of the run targets
+          ``order[(start_cursor + i) % m]`` — the output arrays are
+          assembled in one shot from the per-round probe counts, with a
+          round's final probe marked positive only when its reply
+          survived loss.
+
+        Only loss draws stay sequential (one uniform per active-truth
+        probe, in probe order, from the same lazily refilled 4096-chunk
+        buffer), because each draw's outcome decides whether the round
+        continues.
+        """
+        loss = loss or NoLoss()
+        rng = rng or np.random.default_rng(0)
+        if duration_s is None:
+            duration_s = truth.duration_s - start_s
+        end_s = start_s + duration_s
+
+        m = int(order.size)
+        if m == 0 or truth.n_cols == 0:
+            return ObservationSeries(
+                times=np.array([]),
+                addresses=np.array([], dtype=np.int16),
+                results=np.array([], dtype=bool),
+                observer=self.name,
+            )
+        if m != truth.n_addresses:
+            raise ValueError("order must permute the block's E(b) addresses")
+
+        round_s = self.round_seconds
+        n_rounds = int(np.ceil((end_s - start_s - self.phase_offset_s) / round_s))
+        n_rounds = max(n_rounds, 0)
+        round_starts = start_s + self.phase_offset_s + np.arange(n_rounds) * round_s
+        # the reference stops at the first round starting at/after end_s
+        n_rounds = int(np.searchsorted(round_starts, end_s, side="left"))
+        round_starts = round_starts[:n_rounds]
+        if n_rounds == 0:
+            # the scalar implementation prefilled its draw buffer before
+            # noticing the window was empty; consume the same uniforms so
+            # callers sharing the generator stay bit-compatible
+            rng.random(4096)
+            return count_probe_volume(
+                "trinocular",
+                ObservationSeries(
+                    times=np.array([]),
+                    addresses=np.array([], dtype=np.int16),
+                    results=np.array([], dtype=bool),
+                    observer=self.name,
+                ),
+            )
+        loss_p = loss.loss_probability(round_starts) if loss.max_probability() > 0 else None
+
+        n_cols = truth.n_cols
+        col_origin = float(truth.col_times[0])
+        inv_round = 1.0 / truth.round_seconds
+        max_probes = min(self.max_probes_per_round, m)
+        spacing = self.probe_spacing_s
+        K = max_probes
+
+        # permuted truth, column-major bytes: column c's cursor walk is
+        # the slice [c * m, (c + 1) * m), searched with C-speed find
+        colbytes = np.ascontiguousarray(truth.active[order].T).tobytes()
+
+        # candidate probe times per round, accumulated exactly like the
+        # reference's repeated `t += spacing` (cumsum adds sequentially)
+        T = np.empty((n_rounds, K), dtype=np.float64)
+        T[:, 0] = round_starts
+        if K > 1:
+            T[:, 1:] = spacing
+        np.cumsum(T, axis=1, out=T)
+        n_time = (T < end_s).sum(axis=1).astype(np.int64)
+        rem_arr = np.minimum(n_time, K)
+
+        # per-probe truth columns; a round spans < round_seconds so it
+        # touches at most two, and only rounds straddling a column
+        # boundary (rare) need a crossover index — everything else reads
+        # its first probe's column throughout (jc = K sentinel)
+        c0_arr = np.clip(
+            ((round_starts - col_origin) * inv_round).astype(np.int64), 0, n_cols - 1
+        )
+        jc_arr = np.full(n_rounds, K, dtype=np.int64)
+        c1_arr = c0_arr
+        if K > 1:
+            c_last = np.clip(
+                ((T[:, K - 1] - col_origin) * inv_round).astype(np.int64),
+                0,
+                n_cols - 1,
+            )
+            cross = np.flatnonzero(c_last != c0_arr)
+            if cross.size:
+                Cx = np.clip(
+                    ((T[cross] - col_origin) * inv_round).astype(np.int64),
+                    0,
+                    n_cols - 1,
+                )
+                jc_x = (Cx == Cx[:, :1]).sum(axis=1)
+                jc_arr[cross] = jc_x
+                c1_arr = c0_arr.copy()
+                c1_arr[cross] = Cx[np.arange(cross.size), jc_x]
+
+        # uniform draws for loss, consumed lazily — identical stream to
+        # the reference: one draw per active-truth probe when p > 0
+        draw_buf = rng.random(4096)
+        draw_i = 0
+
+        k_out: list[int] = []
+        hit_out: list[bool] = []
+        k_app, hit_app = k_out.append, hit_out.append
+        c1_l = c1_arr.tolist()
+        p_l = loss_p.tolist() if loss_p is not None else None
+        find = colbytes.find
+
+        cur = start_cursor % m
+        for r, (rem, c0, jc) in enumerate(
+            zip(rem_arr.tolist(), c0_arr.tolist(), jc_arr.tolist())
+        ):
+            p = 0.0 if p_l is None else p_l[r]
+            if p == 0.0 and jc >= rem:
+                # fast path: one column, no loss — find the round's first
+                # active target (two searches when the cursor walk wraps)
+                base = c0 * m
+                end1 = cur + rem
+                if end1 > m:
+                    end1 = m
+                f = find(1, base + cur, base + end1)
+                if f >= 0:
+                    k = f - base - cur + 1
+                    hit = True
+                else:
+                    got = end1 - cur
+                    if rem > got:
+                        f = find(1, base, base + rem - got)
+                    if f >= 0:
+                        k = got + f - base + 1
+                        hit = True
+                    else:
+                        k = rem
+                        hit = False
+                k_app(k)
+                hit_app(hit)
+                cur += k
+                if cur >= m:
+                    cur -= m
+                continue
+            j = 0
+            hit = False
+            while j < rem:
+                # sub-window [j, seg_end) reads a single truth column
+                if j < jc:
+                    c = c0
+                    seg_end = jc if jc < rem else rem
+                else:
+                    c = c1_l[r]
+                    seg_end = rem
+                # first active target in the sub-window (cursor walk may
+                # wrap the block, hence up to two contiguous searches)
+                base = c * m
+                a = cur + j
+                if a >= m:
+                    a -= m
+                end1 = a + (seg_end - j)
+                if end1 > m:
+                    end1 = m
+                f = find(1, base + a, base + end1)
+                if f >= 0:
+                    j += f - base - a
+                elif seg_end - j > end1 - a:
+                    f = find(1, base, base + (seg_end - j) - (end1 - a))
+                    if f >= 0:
+                        j += (end1 - a) + (f - base)
+                if f < 0:
+                    j = seg_end
+                    continue
+                st = True
+                if p > 0.0:
+                    if draw_i >= 4096:
+                        draw_buf = rng.random(4096)
+                        draw_i = 0
+                    if draw_buf[draw_i] < p:
+                        st = False
+                    draw_i += 1
+                j += 1
+                if st:
+                    hit = True
+                    break
+            k_app(j)
+            hit_app(hit)
+            cur += j
+            if cur >= m:
+                cur -= m
+        k_arr = np.asarray(k_out, dtype=np.int64)
+        pos_flag = np.asarray(hit_out, dtype=bool)
+
+        # assemble the probe log in one shot
+        total = int(k_arr.sum())
+        walk = (start_cursor + np.arange(total, dtype=np.int64)) % m
+        order_idx = order[walk]
+        mask = np.arange(K)[None, :] < k_arr[:, None]
+        times = T[mask]
+        results = np.zeros(total, dtype=bool)
+        ends = np.cumsum(k_arr) - 1
+        results[ends[pos_flag]] = True
+        return count_probe_volume(
+            "trinocular",
+            ObservationSeries(
+                times=times,
+                addresses=truth.addresses[order_idx],
+                results=results,
+                observer=self.name,
+            ),
+        )
+
+    def observe_reference(
+        self,
+        truth: BlockTruth,
+        order: np.ndarray,
+        loss: LossModel | None = None,
+        rng: np.random.Generator | None = None,
+        *,
+        start_s: float = 0.0,
+        duration_s: float | None = None,
+        start_cursor: int = 0,
+    ) -> ObservationSeries:
+        """Probe-by-probe oracle for :meth:`observe` (tests only).
+
+        The original scalar round loop; :meth:`observe` must reproduce
+        its output bit-for-bit, including which uniforms the loss model
+        consumes.  Does not feed the probe-volume counters, so running
+        the oracle beside the production path leaves telemetry intact.
         """
         loss = loss or NoLoss()
         rng = rng or np.random.default_rng(0)
@@ -159,14 +401,11 @@ class TrinocularObserver:
                 t += spacing
                 if t >= end_s:
                     break
-        return count_probe_volume(
-            "trinocular",
-            ObservationSeries(
-                times=np.asarray(times, dtype=np.float64),
-                addresses=np.asarray(addrs, dtype=np.int16),
-                results=np.asarray(results, dtype=bool),
-                observer=self.name,
-            ),
+        return ObservationSeries(
+            times=np.asarray(times, dtype=np.float64),
+            addresses=np.asarray(addrs, dtype=np.int16),
+            results=np.asarray(results, dtype=bool),
+            observer=self.name,
         )
 
 

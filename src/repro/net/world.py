@@ -407,6 +407,21 @@ class WorldModel:
         self.cities = cities
         self._specs = self._populate()
 
+    def cache_token(self) -> tuple:
+        """Identity for the analysis cache (see repro.runtime.cache).
+
+        Everything block generation depends on; two worlds with equal
+        tokens produce bit-identical truths, observations and analyses.
+        """
+        return (
+            self.scenario,
+            self.n_blocks,
+            self.seed,
+            self.unresponsive_fraction,
+            self.diurnal_boost,
+            self.cities,
+        )
+
     # -- population -----------------------------------------------------
     def _populate(self) -> tuple[BlockSpec, ...]:
         master = np.random.SeedSequence(self.seed)

@@ -19,6 +19,7 @@ seam through which the repo drives that map:
 executor process-wide; see :func:`~repro.runtime.engine.default_engine`.
 """
 
+from .cache import AnalysisCache, CACHE_SCHEMA, default_cache, stable_token, task_key
 from .engine import (
     BlockResult,
     CampaignEngine,
@@ -35,8 +36,10 @@ from .executors import Executor, ParallelExecutor, SerialExecutor
 from .jobs import BlockAnalysisJob
 
 __all__ = [
+    "AnalysisCache",
     "BlockAnalysisJob",
     "BlockResult",
+    "CACHE_SCHEMA",
     "CampaignEngine",
     "EngineRun",
     "Executor",
@@ -46,7 +49,10 @@ __all__ = [
     "ShippedResult",
     "StageTotals",
     "TracedCall",
+    "default_cache",
     "default_engine",
     "drain_run_log",
     "peek_run_log",
+    "stable_token",
+    "task_key",
 ]

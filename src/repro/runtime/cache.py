@@ -1,0 +1,193 @@
+"""Content-addressed per-block result cache for the campaign engine.
+
+Every per-block job in this repo is a pure function of frozen inputs
+(world seed and scenario, block spec, analysis window, pipeline
+parameters), so its result can be keyed by a stable hash of those inputs
+and reused across engine runs — and, with a disk tier, across CLI
+invocations.  fig3/fig5/table3 and the covid/control campaigns share
+worlds; with a cache directory they stop re-simulating them.
+
+Key schema
+----------
+A key is ``sha256(stable_token((kind, CACHE_SCHEMA, inputs)))`` where
+``stable_token`` renders the inputs canonically: primitives by ``repr``,
+dates by isoformat, dicts with sorted keys, sets sorted, dataclasses as
+``(qualified name, field tokens)``, numpy arrays as (dtype, shape, raw
+bytes), and any object exposing ``cache_token()`` by recursing into
+that.  The qualified class names mean a renamed or restructured config
+class invalidates naturally; bumping :data:`CACHE_SCHEMA` invalidates
+everything at once (do this whenever a kernel or pipeline change alters
+results without changing any input field).  Objects the tokenizer does
+not understand make the task *uncacheable* (``task_key`` returns
+``None``) rather than wrongly cacheable.
+
+Tiers
+-----
+An in-memory LRU holds the most recent ``max_items`` results; an
+optional directory tier (``--cache DIR`` / ``REPRO_CACHE``) persists
+pickles under ``DIR/<k[:2]>/<k>.pkl`` with atomic renames, so parallel
+runs and repeated invocations are safe.  Cached results are exactly the
+stored objects — the engine guarantees cached, serial, and parallel
+runs stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime as _dt
+import enum
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "AnalysisCache",
+    "CACHE_SCHEMA",
+    "default_cache",
+    "stable_token",
+    "task_key",
+]
+
+#: Bump to invalidate every existing cache entry (result-affecting
+#: change that is invisible in the job's input fields).
+CACHE_SCHEMA = 1
+
+
+def stable_token(obj: Any) -> str:
+    """Canonical string for ``obj``; raises TypeError when unrepresentable.
+
+    Two objects that would make a per-block job behave identically must
+    tokenize identically; objects that could differ must not collide.
+    """
+    if obj is None or isinstance(obj, (bool, int)):
+        return repr(obj)
+    if isinstance(obj, float):
+        return repr(obj)  # repr round-trips float64 exactly
+    if isinstance(obj, str):
+        return "s" + repr(obj)
+    if isinstance(obj, bytes):
+        return "b" + hashlib.sha256(obj).hexdigest()
+    if isinstance(obj, enum.Enum):
+        return f"e({type(obj).__qualname__}:{obj.name})"
+    if isinstance(obj, (_dt.datetime, _dt.date, _dt.time)):
+        return f"t({obj.isoformat()})"
+    if isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        digest = hashlib.sha256(arr.tobytes()).hexdigest()
+        return f"a({arr.dtype.str},{arr.shape},{digest})"
+    if isinstance(obj, np.generic):
+        return stable_token(obj.item())
+    token = getattr(obj, "cache_token", None)
+    if token is not None and not dataclasses.is_dataclass(obj):
+        return f"o({type(obj).__qualname__},{stable_token(token())})"
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = ",".join(
+            f"{f.name}={stable_token(getattr(obj, f.name))}"
+            for f in dataclasses.fields(obj)
+        )
+        return f"d({type(obj).__qualname__},{fields})"
+    if isinstance(obj, (tuple, list)):
+        return "(" + ",".join(stable_token(v) for v in obj) + ")"
+    if isinstance(obj, dict):
+        items = sorted((stable_token(k), stable_token(v)) for k, v in obj.items())
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    if isinstance(obj, (set, frozenset)):
+        return "f{" + ",".join(sorted(stable_token(v) for v in obj)) + "}"
+    raise TypeError(f"cannot build a stable cache token for {type(obj)!r}")
+
+
+def task_key(kind: str, inputs: dict[str, Any]) -> str | None:
+    """Cache key for one job call, or None when inputs are uncacheable."""
+    try:
+        token = stable_token((kind, CACHE_SCHEMA, inputs))
+    except TypeError:
+        return None
+    return hashlib.sha256(token.encode()).hexdigest()
+
+
+class AnalysisCache:
+    """Two-tier (memory LRU + optional directory) result store.
+
+    The cache is dumb on purpose: it maps keys to pickled results and
+    never interprets them.  Correctness rests entirely on the key —
+    see the module docstring for the schema.
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None, *, max_items: int = 1024) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self.max_items = max(int(max_items), 1)
+        self._memory: OrderedDict[str, Any] = OrderedDict()
+
+    # -- lookup ----------------------------------------------------------
+    def get(self, key: str) -> tuple[bool, Any]:
+        """(hit, value); a disk hit is promoted into the memory tier."""
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            return True, self._memory[key]
+        if self.directory is not None:
+            path = self._path(key)
+            try:
+                with open(path, "rb") as fh:
+                    value = pickle.load(fh)
+            except (OSError, pickle.PickleError, EOFError):
+                return False, None
+            self._remember(key, value)
+            return True, value
+        return False, None
+
+    def put(self, key: str, value: Any) -> bool:
+        """Store a result in both tiers; True when it is durably stored
+        (or there is no disk tier and the memory tier took it)."""
+        self._remember(key, value)
+        if self.directory is None:
+            return True
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)  # atomic: parallel writers race safely
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        return True
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # -- internals -------------------------------------------------------
+    def _remember(self, key: str, value: Any) -> None:
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_items:
+            self._memory.popitem(last=False)
+
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / key[:2] / f"{key}.pkl"
+
+
+def default_cache() -> AnalysisCache | None:
+    """Cache for callers that did not pick one: ``REPRO_CACHE`` decides.
+
+    Unset or empty means no caching (every run recomputes, as before);
+    a directory path enables both tiers rooted there.  The CLI's
+    ``--cache DIR`` flag sets this variable for the whole run.
+    """
+    raw = os.environ.get("REPRO_CACHE", "").strip()
+    if not raw:
+        return None
+    return AnalysisCache(raw)

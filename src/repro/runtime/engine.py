@@ -17,13 +17,14 @@ import os
 import time
 import warnings
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Iterable
 
 from ..core.pipeline import BlockAnalysis
 from ..core.stages import PIPELINE_STAGES, StageRecord
 from ..obs.metrics import MetricsRegistry, get_registry, scoped_registry
 from ..obs.trace import NoopTracer, SpanRecord, Tracer, get_tracer, use_tracer
+from .cache import AnalysisCache, default_cache
 from .executors import Executor, ParallelExecutor, SerialExecutor
 
 __all__ = [
@@ -146,6 +147,7 @@ class RunMetrics:
     funnel: dict[str, int] = field(default_factory=dict)
     fallback: str | None = None
     meters: dict[str, Any] | None = None  # merged registry snapshot (traced runs)
+    cache: dict[str, int] | None = None  # hits/misses/stores (cached runs only)
 
     @property
     def blocks_per_sec(self) -> float:
@@ -173,6 +175,7 @@ class RunMetrics:
             "funnel": dict(self.funnel),
             "fallback": self.fallback,
             "meters": self.meters,
+            "cache": self.cache,
         }
 
     @classmethod
@@ -190,6 +193,7 @@ class RunMetrics:
             funnel=dict(d.get("funnel") or {}),
             fallback=d.get("fallback"),
             meters=d.get("meters"),
+            cache=d.get("cache"),  # absent in pre-cache saved traces
         )
 
     def report(self) -> str:
@@ -224,6 +228,14 @@ class RunMetrics:
         if self.funnel:
             funnel = "  ".join(f"{k}={v}" for k, v in self.funnel.items())
             lines.append(f"  funnel: {funnel}")
+        if self.cache is not None:
+            hits = self.cache.get("hits", 0)
+            looked = hits + self.cache.get("misses", 0)
+            rate = 100.0 * hits / looked if looked else 0.0
+            lines.append(
+                f"  cache: {hits}/{looked} hits ({rate:.0f}%), "
+                f"{self.cache.get('stores', 0)} stored"
+            )
         return "\n".join(lines)
 
 
@@ -258,8 +270,11 @@ class CampaignEngine:
     process-wide view for the CLI).
     """
 
-    def __init__(self, executor: Executor | None = None) -> None:
+    def __init__(
+        self, executor: Executor | None = None, cache: AnalysisCache | None = None
+    ) -> None:
         self.executor: Executor = executor or SerialExecutor()
+        self.cache = cache
         self.history: list[RunMetrics] = []
 
     def run(
@@ -276,6 +291,15 @@ class CampaignEngine:
         :class:`BlockResult` contribute stage totals and funnel counters;
         other result types are simply counted and timed.
 
+        When the engine has a cache and ``fn`` exposes a
+        ``cache_key(task)`` method, each task's key is consulted before
+        dispatch and its result stored after; hits bypass the executor
+        entirely (their :class:`BlockResult` carries no stage records,
+        because no stage ran) but land in the same result slot, so
+        cached runs stay byte-identical to computed ones.  Jobs without
+        ``cache_key`` run uncached, as do tasks whose key comes back
+        ``None`` (uncacheable inputs).
+
         When the ambient (or given) tracer is enabled, the run opens a
         ``campaign`` span, runs each task through :class:`TracedCall`
         so per-block spans and worker metric snapshots ship back, and
@@ -285,34 +309,129 @@ class CampaignEngine:
         """
         tracer = get_tracer() if tracer is None else tracer
         tasks = list(tasks)
+
+        start = time.perf_counter()
+        keys, hits, pending = self._consult_cache(fn, tasks)
+        pending_tasks = [tasks[i] for i in pending]
         if not tracer.enabled:
-            start = time.perf_counter()
-            results = self.executor.map(fn, tasks)
+            computed = self.executor.map(fn, pending_tasks)
             wall_s = time.perf_counter() - start
+            results = self._merge_results(len(tasks), hits, pending, computed)
             metrics = self._aggregate(results, label=label, wall_s=wall_s)
+            stores = self._store_results(keys, pending, computed)
+            metrics.cache = self._cache_stats(keys, hits, pending, stores)
+            if metrics.cache is not None:
+                self._emit_cache_counters(get_registry(), metrics.cache)
         else:
-            results, metrics = self._run_traced(fn, tasks, label=label, tracer=tracer)
+            results, metrics = self._run_traced(
+                fn,
+                tasks,
+                label=label,
+                tracer=tracer,
+                started=start,
+                keys=keys,
+                hits=hits,
+                pending=pending,
+            )
         self.history.append(metrics)
         _RUN_LOG.append(metrics)
         return EngineRun(results=results, metrics=metrics)
 
+    # -- caching -----------------------------------------------------------
+    def _consult_cache(
+        self, fn: Callable[[Any], Any], tasks: list[Any]
+    ) -> tuple[list[str | None] | None, dict[int, Any], list[int]]:
+        """Split tasks into cache hits and indices still to compute."""
+        keyfn = getattr(fn, "cache_key", None)
+        if self.cache is None or keyfn is None:
+            return None, {}, list(range(len(tasks)))
+        keys: list[str | None] = [keyfn(task) for task in tasks]
+        hits: dict[int, Any] = {}
+        pending: list[int] = []
+        for i, key in enumerate(keys):
+            if key is not None:
+                found, value = self.cache.get(key)
+                if found:
+                    hits[i] = value
+                    continue
+            pending.append(i)
+        return keys, hits, pending
+
+    def _store_results(
+        self, keys: list[str | None] | None, pending: list[int], computed: list[Any]
+    ) -> int:
+        if self.cache is None or keys is None:
+            return 0
+        stores = 0
+        for i, value in zip(pending, computed):
+            key = keys[i]
+            if key is None:
+                continue
+            if isinstance(value, BlockResult) and value.stages:
+                # stage records describe the compute that just happened;
+                # a later hit must not replay them as if it ran stages
+                value = replace(value, stages=())
+            stores += int(self.cache.put(key, value))
+        return stores
+
+    @staticmethod
+    def _merge_results(
+        n: int, hits: dict[int, Any], pending: list[int], computed: list[Any]
+    ) -> list[Any]:
+        results: list[Any] = [None] * n
+        for i, value in hits.items():
+            results[i] = value
+        for i, value in zip(pending, computed):
+            results[i] = value
+        return results
+
+    @staticmethod
+    def _cache_stats(
+        keys: list[str | None] | None,
+        hits: dict[int, Any],
+        pending: list[int],
+        stores: int,
+    ) -> dict[str, int] | None:
+        if keys is None:
+            return None
+        return {"hits": len(hits), "misses": len(pending), "stores": stores}
+
+    @staticmethod
+    def _emit_cache_counters(registry: MetricsRegistry, stats: dict[str, int]) -> None:
+        registry.counter("cache.hit").inc(stats["hits"])
+        registry.counter("cache.miss").inc(stats["misses"])
+        registry.counter("cache.store").inc(stats["stores"])
+
     def _run_traced(
-        self, fn: Callable[[Any], Any], tasks: list[Any], *, label: str, tracer: Tracer
+        self,
+        fn: Callable[[Any], Any],
+        tasks: list[Any],
+        *,
+        label: str,
+        tracer: Tracer,
+        started: float,
+        keys: list[str | None] | None,
+        hits: dict[int, Any],
+        pending: list[int],
     ) -> tuple[list[Any], RunMetrics]:
         with tracer.span(
             "campaign",
             attrs={"label": label, "executor": self.executor.name, "n_tasks": len(tasks)},
         ) as span:
             call = TracedCall(fn=fn, trace_id=tracer.trace_id, parent_id=span.span_id)
-            start = time.perf_counter()
-            shipped = self.executor.map(call, tasks)
-            wall_s = time.perf_counter() - start
-            results = [s.value for s in shipped]
+            shipped = self.executor.map(call, [tasks[i] for i in pending])
+            wall_s = time.perf_counter() - started
+            computed = [s.value for s in shipped]
+            results = self._merge_results(len(tasks), hits, pending, computed)
             merged = MetricsRegistry()
             for s in shipped:
                 tracer.adopt(s.spans)
                 merged.merge(s.meters)
             metrics = self._aggregate(results, label=label, wall_s=wall_s)
+            stores = self._store_results(keys, pending, computed)
+            metrics.cache = self._cache_stats(keys, hits, pending, stores)
+            if metrics.cache is not None:
+                self._emit_cache_counters(merged, metrics.cache)
             merged.counter("engine.tasks").inc(len(results))
             merged.histogram("engine.run_wall_s").observe(wall_s)
             for key, n in metrics.funnel.items():
@@ -322,6 +441,8 @@ class CampaignEngine:
             # manifest's snapshot covers the whole run
             get_registry().merge(metrics.meters)
             span.set(wall_s=round(wall_s, 6), fallback=metrics.fallback)
+            if metrics.cache is not None:
+                span.set(cache_hits=metrics.cache["hits"])
         return results, metrics
 
     # -- aggregation -------------------------------------------------------
@@ -372,6 +493,9 @@ def default_engine() -> CampaignEngine:
     not an integer, or is negative, also runs serial — but loudly, via
     ``warnings.warn``, instead of silently ignoring the setting.  The
     CLI's ``--workers N`` flag sets this variable for the whole run.
+
+    ``REPRO_CACHE=DIR`` (the CLI's ``--cache DIR``) additionally attaches
+    the content-addressed analysis cache rooted at that directory.
     """
     raw = os.environ.get("REPRO_WORKERS", "").strip()
     workers = 1
@@ -392,6 +516,7 @@ def default_engine() -> CampaignEngine:
                 stacklevel=2,
             )
             workers = 1
+    cache = default_cache()
     if workers <= 1:
-        return CampaignEngine(SerialExecutor())
-    return CampaignEngine(ParallelExecutor(workers=workers))
+        return CampaignEngine(SerialExecutor(), cache)
+    return CampaignEngine(ParallelExecutor(workers=workers), cache)

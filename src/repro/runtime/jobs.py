@@ -19,6 +19,7 @@ from ..datasets.catalog import DatasetSpec
 from ..net.world import BlockSpec, WorldModel
 from ..obs.metrics import get_registry
 from ..obs.trace import annotate
+from .cache import task_key
 from .engine import BlockResult
 
 __all__ = ["BlockAnalysisJob"]
@@ -38,6 +39,26 @@ class BlockAnalysisJob:
     ds: DatasetSpec
     pipeline: BlockPipeline
     observer_style: str = "adaptive"
+
+    def cache_key(self, spec: BlockSpec) -> str | None:
+        """Content address of this job's result for one block.
+
+        Covers everything ``__call__`` derives its output from: world
+        identity, dataset window + observers, pipeline parameters, the
+        probing algorithm, and the block spec itself (seed, kind,
+        events, loss).  None (uncacheable) if any of it fails to
+        tokenize — the engine then just computes as usual.
+        """
+        return task_key(
+            "block-analysis",
+            {
+                "world": self.world,
+                "ds": self.ds,
+                "pipeline": self.pipeline,
+                "observer_style": self.observer_style,
+                "spec": spec,
+            },
+        )
 
     def __call__(self, spec: BlockSpec) -> BlockResult:
         # Imported here: datasets.builder composes over this package, so

@@ -1,0 +1,285 @@
+"""Vectorized kernels against their scalar reference oracles.
+
+Each performance-critical kernel keeps its original scalar
+implementation as a ``*_reference`` oracle; these property-style tests
+sweep randomized worlds and adversarial edge cases asserting the
+vectorized path reproduces the oracle exactly (bit-for-bit for the
+prober and reconstruction, exact alarms + allclose traces for CUSUM,
+whose running-minimum identity reorders float additions).
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.core.reconstruction import (
+    full_scan_durations,
+    full_scan_durations_reference,
+)
+from repro.net.events import Calendar
+from repro.net.loss import BernoulliLoss, NoLoss
+from repro.net.observations import ObservationSeries
+from repro.net.prober import TrinocularObserver, probe_order
+from repro.net.usage import (
+    NatGatewayUsage,
+    ServerFarmUsage,
+    SparseUsage,
+    WorkplaceUsage,
+    round_grid,
+)
+from repro.timeseries.detect import detect_cusum, detect_cusum_reference
+
+EPOCH = datetime(2020, 1, 1)
+
+
+def make_truth(usage, days=2.0, seed=0, tz_hours=0.0):
+    cal = Calendar(epoch=EPOCH, tz_hours=tz_hours)
+    return usage.generate(np.random.default_rng(seed), round_grid(days * 86_400.0), cal)
+
+
+def assert_same_series(fast: ObservationSeries, slow: ObservationSeries) -> None:
+    assert np.array_equal(fast.times, slow.times)
+    assert np.array_equal(fast.addresses, slow.addresses)
+    assert np.array_equal(fast.results, slow.results)
+
+
+def both_observations(obs, truth, order, loss, seed, **kwargs):
+    """Run the vectorized and reference probers on twin RNG streams."""
+    rng_fast = np.random.default_rng(seed)
+    rng_slow = np.random.default_rng(seed)
+    fast = obs.observe(truth, order, loss, rng_fast, **kwargs)
+    slow = obs.observe_reference(truth, order, loss, rng_slow, **kwargs)
+    assert_same_series(fast, slow)
+    # same number of uniforms consumed -> identical generator state after
+    assert rng_fast.bit_generator.state == rng_slow.bit_generator.state
+    return fast
+
+
+class TestProberEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomized_worlds(self, seed):
+        """Random usage model / loss / cursor / phase sweeps match exactly."""
+        rng = np.random.default_rng(seed)
+        usage = [
+            WorkplaceUsage(n_desktops=int(rng.integers(5, 60)), n_servers=2),
+            SparseUsage(n_addresses=int(rng.integers(8, 48))),
+            NatGatewayUsage(n_routers=2, stale_addresses=int(rng.integers(0, 12))),
+            ServerFarmUsage(n_servers=int(rng.integers(4, 40))),
+        ][seed % 4]
+        truth = make_truth(usage, days=float(rng.uniform(0.5, 3.0)), seed=seed)
+        order = probe_order(truth.n_addresses, seed)
+        loss = BernoulliLoss(p=float(rng.uniform(0.0, 0.7)))
+        obs = TrinocularObserver(
+            "e",
+            phase_offset_s=float(rng.uniform(0.0, 660.0)),
+            max_probes_per_round=int(rng.integers(1, 20)),
+        )
+        log = both_observations(
+            obs,
+            truth,
+            order,
+            loss,
+            seed,
+            start_cursor=int(rng.integers(truth.n_addresses)),
+        )
+        assert len(log) > 0
+
+    def test_no_loss_fast_path(self):
+        truth = make_truth(WorkplaceUsage(n_desktops=30, n_servers=1), days=1.5, seed=3)
+        order = probe_order(truth.n_addresses, 3)
+        both_observations(TrinocularObserver("e"), truth, order, NoLoss(), 3)
+
+    def test_all_dark_block(self):
+        """Every round exhausts its probe budget without a reply."""
+        truth = make_truth(SparseUsage(n_addresses=24), days=1.0, seed=1)
+        truth.active[:] = False
+        order = probe_order(truth.n_addresses, 1)
+        log = both_observations(
+            TrinocularObserver("e", max_probes_per_round=7), truth, order, NoLoss(), 1
+        )
+        assert not log.results.any()
+
+    def test_heavy_loss(self):
+        """Near-total loss: most rounds burn their budget, many draws used."""
+        truth = make_truth(ServerFarmUsage(n_servers=16), days=1.0, seed=2)
+        order = probe_order(truth.n_addresses, 2)
+        log = both_observations(
+            TrinocularObserver("e"), truth, order, BernoulliLoss(p=0.99), 2
+        )
+        assert len(log) > 0 and log.results.mean() < 0.5
+
+    def test_zero_duration(self):
+        truth = make_truth(ServerFarmUsage(n_servers=8), days=1.0, seed=4)
+        order = probe_order(truth.n_addresses, 4)
+        log = both_observations(
+            TrinocularObserver("e"), truth, order, NoLoss(), 4, duration_s=0.0
+        )
+        assert len(log) == 0
+
+    def test_partial_final_round(self):
+        """A window ending mid-round truncates that round's probes alike."""
+        truth = make_truth(SparseUsage(n_addresses=20), days=1.0, seed=5)
+        truth.active[:] = False
+        order = probe_order(truth.n_addresses, 5)
+        both_observations(
+            TrinocularObserver("e", max_probes_per_round=15),
+            truth,
+            order,
+            NoLoss(),
+            5,
+            duration_s=660.0 * 3 + 7.0,  # 4th round fits only 3 probe slots
+        )
+
+    def test_single_address_block(self):
+        truth = make_truth(ServerFarmUsage(n_servers=1), days=0.5, seed=6)
+        order = probe_order(truth.n_addresses, 6)
+        both_observations(
+            TrinocularObserver("e"), truth, order, BernoulliLoss(p=0.5), 6
+        )
+
+    def test_budget_larger_than_block(self):
+        """max_probes = min(limit, m) when the block is tiny."""
+        truth = make_truth(SparseUsage(n_addresses=4), days=0.5, seed=7)
+        truth.active[:] = False
+        order = probe_order(truth.n_addresses, 7)
+        log = both_observations(
+            TrinocularObserver("e", max_probes_per_round=15), truth, order, NoLoss(), 7
+        )
+        per_round = np.bincount(np.floor(log.times / 660.0).astype(int))
+        assert per_round.max() == truth.n_addresses  # budget clamps to m
+
+    def test_phase_straddles_column_boundary(self):
+        """Probe windows crossing a truth-column edge pick the right column."""
+        truth = make_truth(WorkplaceUsage(n_desktops=40, n_servers=2), days=1.0, seed=8)
+        order = probe_order(truth.n_addresses, 8)
+        # place round starts a few seconds before each column boundary so
+        # the 3s-spaced candidate window crosses into the next column
+        obs = TrinocularObserver("e", phase_offset_s=660.0 - 4.0)
+        both_observations(obs, truth, order, BernoulliLoss(p=0.3), 8)
+
+    def test_offset_window(self):
+        truth = make_truth(WorkplaceUsage(n_desktops=25, n_servers=1), days=3.0, seed=9)
+        order = probe_order(truth.n_addresses, 9)
+        both_observations(
+            TrinocularObserver("e"),
+            truth,
+            order,
+            BernoulliLoss(p=0.2),
+            9,
+            start_s=86_400.0,
+            duration_s=86_400.0,
+            start_cursor=11,
+        )
+
+
+class TestFullScanEquivalence:
+    @staticmethod
+    def random_series(rng, n, pool):
+        times = np.sort(rng.uniform(0.0, 1e5, size=n))
+        addrs = rng.choice(pool, size=n).astype(np.int16)
+        return ObservationSeries(
+            times=times, addresses=addrs, results=rng.random(n) < 0.5
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized(self, seed):
+        rng = np.random.default_rng(seed)
+        pool = np.arange(1, int(rng.integers(2, 30)), dtype=np.int16)
+        obs = self.random_series(rng, int(rng.integers(1, 400)), pool)
+        eb = rng.choice(pool, size=int(rng.integers(1, pool.size + 1)), replace=False)
+        max_scans = None if seed % 2 else int(rng.integers(1, 5))
+        fast = full_scan_durations(obs, eb, max_scans=max_scans)
+        slow = full_scan_durations_reference(obs, eb, max_scans=max_scans)
+        assert np.array_equal(fast, slow)
+
+    def test_empty_series(self):
+        obs = ObservationSeries(
+            times=np.array([]), addresses=np.array([], dtype=np.int16),
+            results=np.array([], dtype=bool),
+        )
+        eb = np.array([1, 2], dtype=np.int16)
+        assert full_scan_durations(obs, eb).size == 0
+        assert full_scan_durations_reference(obs, eb).size == 0
+
+    def test_address_never_probed(self):
+        obs = ObservationSeries(
+            times=np.array([0.0, 1.0]),
+            addresses=np.array([1, 1], dtype=np.int16),
+            results=np.array([True, True]),
+        )
+        eb = np.array([1, 2], dtype=np.int16)
+        assert full_scan_durations(obs, eb).size == 0
+        assert full_scan_durations_reference(obs, eb).size == 0
+
+    def test_simulated_block(self):
+        """End-to-end: a real probe log instead of synthetic indices."""
+        truth = make_truth(WorkplaceUsage(n_desktops=30, n_servers=2), days=4.0, seed=10)
+        order = probe_order(truth.n_addresses, 10)
+        log = TrinocularObserver("e").observe(
+            truth, order, NoLoss(), np.random.default_rng(10)
+        )
+        fast = full_scan_durations(log, truth.addresses)
+        slow = full_scan_durations_reference(log, truth.addresses)
+        assert np.array_equal(fast, slow)
+        assert fast.size > 0
+
+
+class TestCusumEquivalence:
+    @staticmethod
+    def check(x, threshold=1.0, drift=0.001, estimate_ending=True):
+        fast = detect_cusum(x, threshold, drift, estimate_ending=estimate_ending)
+        slow = detect_cusum_reference(
+            x, threshold, drift, estimate_ending=estimate_ending
+        )
+        assert fast.alarms == slow.alarms  # exact: indices, directions, amplitudes
+        np.testing.assert_allclose(fast.gp, slow.gp, rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(fast.gn, slow.gn, rtol=1e-9, atol=1e-12)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_walks(self, seed):
+        rng = np.random.default_rng(seed)
+        x = np.cumsum(rng.normal(0.0, 0.4, size=int(rng.integers(10, 2000))))
+        self.check(
+            x,
+            threshold=float(rng.uniform(0.3, 3.0)),
+            drift=float(rng.uniform(0.0, 0.05)),
+            estimate_ending=bool(seed % 2),
+        )
+
+    def test_constant_series(self):
+        self.check(np.full(500, 3.7))
+
+    def test_step_change(self):
+        self.check(np.concatenate([np.zeros(100), np.ones(100) * 5.0]))
+
+    def test_empty_and_tiny(self):
+        self.check(np.array([]))
+        self.check(np.array([1.0]))
+
+    def test_nan_forward_fill(self):
+        x = np.concatenate([np.zeros(50), np.full(10, np.nan), np.ones(50) * 4.0])
+        self.check(x)
+
+    def test_all_nan(self):
+        self.check(np.full(40, np.nan))
+
+
+class TestReplyRateByAddress:
+    def test_matches_naive_on_large_series(self):
+        """Regression: bincount path equals the per-address mean exactly."""
+        rng = np.random.default_rng(42)
+        n = 200_000
+        addrs = rng.integers(1, 255, size=n).astype(np.int16)
+        obs = ObservationSeries(
+            times=np.sort(rng.uniform(0.0, 1e6, size=n)),
+            addresses=addrs,
+            results=rng.random(n) < 0.3,
+        )
+        rates = obs.reply_rate_by_address()
+        for a in np.unique(addrs)[:32]:
+            mask = obs.addresses == a
+            assert rates[int(a)] == float(obs.results[mask].mean())
+        assert set(rates) == set(int(a) for a in np.unique(addrs))

@@ -142,6 +142,33 @@ class TestTracingDoesNotPerturbResults:
             assert pickle.dumps(serial.analyses[cidr]) == reference
             assert pickle.dumps(parallel.analyses[cidr]) == reference
 
+    def test_cached_traced_runs_byte_identical(self, tmp_path):
+        """Cold, warm, and traced-warm cached runs all match the baseline."""
+        from repro.runtime import AnalysisCache
+
+        world = covid_world(64, 26, diurnal_boost=2.0)
+        dataset = "2020it89-match-ejnw"
+        baseline = DatasetBuilder(world).analyze(
+            dataset, engine=CampaignEngine(SerialExecutor())
+        )
+        cold_engine = CampaignEngine(SerialExecutor(), AnalysisCache(tmp_path))
+        cold = DatasetBuilder(world).analyze(dataset, engine=cold_engine)
+        assert cold.metrics.cache["misses"] == 64
+        with use_tracer(Tracer()) as tracer:
+            warm_engine = CampaignEngine(
+                ParallelExecutor(workers=2), AnalysisCache(tmp_path)
+            )
+            warm = DatasetBuilder(world).analyze(dataset, engine=warm_engine)
+        assert warm.metrics.cache == {"hits": 64, "misses": 0, "stores": 0}
+        assert list(warm.analyses) == list(baseline.analyses)
+        for cidr, analysis in baseline.analyses.items():
+            reference = pickle.dumps(analysis)
+            assert pickle.dumps(cold.analyses[cidr]) == reference
+            assert pickle.dumps(warm.analyses[cidr]) == reference
+        # the traced campaign span advertises its hit count
+        campaign_spans = [s for s in tracer.finished if s.name == "campaign"]
+        assert any(s.attrs.get("cache_hits") == 64 for s in campaign_spans)
+
     def test_without_trace_flag_no_files_are_written(self, tmp_path, monkeypatch):
         # engine runs plus --metrics must never write anything to disk
         monkeypatch.chdir(tmp_path)

@@ -13,12 +13,15 @@ from repro.datasets.builder import DatasetBuilder
 from repro.datasets.catalog import dataset
 from repro.net.world import WorldModel, scenario_covid2020
 from repro.runtime import (
+    AnalysisCache,
     BlockAnalysisJob,
     BlockResult,
     CampaignEngine,
     ParallelExecutor,
     SerialExecutor,
     default_engine,
+    stable_token,
+    task_key,
 )
 
 DATASET = "2020it89-match-ejnw"  # two weeks, four observers: cheap but real
@@ -187,6 +190,127 @@ class TestBlockAnalysisJob:
         result = job(spec)
         assert not result.analysis.classification.responsive
         assert all(r.skipped == "firewalled" for r in result.stages)
+
+
+class TestAnalysisCache:
+    N = 30  # blocks per cached run: cheap but covers firewalled + responsive
+
+    def _blocks(self, world200):
+        return list(world200.blocks)[: self.N]
+
+    def test_cold_then_warm_disk_byte_identical(
+        self, world200, serial_result, tmp_path
+    ):
+        blocks = self._blocks(world200)
+        cold_engine = CampaignEngine(SerialExecutor(), AnalysisCache(tmp_path))
+        cold = DatasetBuilder(world200).analyze(
+            DATASET, blocks=blocks, engine=cold_engine
+        )
+        assert cold.metrics.cache == {"hits": 0, "misses": self.N, "stores": self.N}
+        # a fresh engine + fresh in-memory tier: every hit comes from disk
+        warm_engine = CampaignEngine(SerialExecutor(), AnalysisCache(tmp_path))
+        warm = DatasetBuilder(world200).analyze(
+            DATASET, blocks=blocks, engine=warm_engine
+        )
+        assert warm.metrics.cache == {"hits": self.N, "misses": 0, "stores": 0}
+        assert list(warm.analyses) == list(cold.analyses)
+        for cidr, analysis in warm.analyses.items():
+            reference = pickle.dumps(serial_result.analyses[cidr])
+            assert pickle.dumps(analysis) == reference
+            assert pickle.dumps(cold.analyses[cidr]) == reference
+        assert warm.funnel() == cold.funnel()
+        assert f"cache: {self.N}/{self.N} hits (100%)" in warm.metrics.report()
+
+    def test_parallel_with_cache_matches_serial(
+        self, world200, serial_result, tmp_path
+    ):
+        blocks = self._blocks(world200)
+        engine = CampaignEngine(ParallelExecutor(workers=2), AnalysisCache(tmp_path))
+        cold = DatasetBuilder(world200).analyze(DATASET, blocks=blocks, engine=engine)
+        assert engine.executor.fallback_reason is None
+        assert cold.metrics.cache == {"hits": 0, "misses": self.N, "stores": self.N}
+        warm = DatasetBuilder(world200).analyze(DATASET, blocks=blocks, engine=engine)
+        assert warm.metrics.cache == {"hits": self.N, "misses": 0, "stores": 0}
+        for cidr, analysis in warm.analyses.items():
+            assert pickle.dumps(analysis) == pickle.dumps(serial_result.analyses[cidr])
+
+    def test_memory_only_tier(self, world200, serial_result):
+        blocks = self._blocks(world200)
+        engine = CampaignEngine(SerialExecutor(), AnalysisCache())  # no disk
+        DatasetBuilder(world200).analyze(DATASET, blocks=blocks, engine=engine)
+        warm = DatasetBuilder(world200).analyze(DATASET, blocks=blocks, engine=engine)
+        assert warm.metrics.cache == {"hits": self.N, "misses": 0, "stores": 0}
+        for cidr, analysis in warm.analyses.items():
+            assert pickle.dumps(analysis) == pickle.dumps(serial_result.analyses[cidr])
+
+    def test_corrupt_disk_entries_recompute(self, world200, serial_result, tmp_path):
+        blocks = self._blocks(world200)
+        engine = CampaignEngine(SerialExecutor(), AnalysisCache(tmp_path))
+        DatasetBuilder(world200).analyze(DATASET, blocks=blocks, engine=engine)
+        for pkl in tmp_path.rglob("*.pkl"):
+            pkl.write_bytes(b"not a pickle")
+        fresh = CampaignEngine(SerialExecutor(), AnalysisCache(tmp_path))
+        result = DatasetBuilder(world200).analyze(
+            DATASET, blocks=blocks, engine=fresh
+        )
+        assert result.metrics.cache["hits"] == 0  # every load failed -> recompute
+        assert result.metrics.cache["misses"] == self.N
+        for cidr, analysis in result.analyses.items():
+            assert pickle.dumps(analysis) == pickle.dumps(serial_result.analyses[cidr])
+
+    def test_plain_tasks_bypass_cache(self):
+        engine = CampaignEngine(SerialExecutor(), AnalysisCache())
+        run = engine.run(_square, [1, 2, 3], label="squares")
+        assert run.results == [1, 4, 9]
+        assert run.metrics.cache is None  # fn has no cache_key: never consulted
+
+    def test_memory_lru_eviction(self):
+        cache = AnalysisCache(max_items=2)
+        for i in range(3):
+            cache.put(f"k{i}", i)
+        assert len(cache) == 2
+        assert cache.get("k0") == (False, None)  # oldest evicted
+        assert cache.get("k2") == (True, 2)
+
+    def test_cached_hits_drop_stage_records(self, world200, tmp_path):
+        blocks = self._blocks(world200)
+        engine = CampaignEngine(SerialExecutor(), AnalysisCache(tmp_path))
+        DatasetBuilder(world200).analyze(DATASET, blocks=blocks, engine=engine)
+        warm = DatasetBuilder(world200).analyze(DATASET, blocks=blocks, engine=engine)
+        # no stage work happened, so stage totals must not claim any
+        assert all(t.calls == 0 for t in warm.metrics.stages.values())
+        assert warm.metrics.funnel["routed"] == self.N
+
+
+class TestTaskKey:
+    def test_deterministic_and_spec_sensitive(self, world200):
+        job = BlockAnalysisJob(
+            world=world200, ds=dataset(DATASET), pipeline=BlockPipeline()
+        )
+        specs = list(world200.blocks)[:2]
+        key = job.cache_key(specs[0])
+        assert isinstance(key, str) and len(key) == 64
+        assert key == job.cache_key(specs[0])
+        assert key != job.cache_key(specs[1])
+
+    def test_pipeline_parameters_change_the_key(self, world200):
+        spec = list(world200.blocks)[0]
+        a = BlockAnalysisJob(
+            world=world200, ds=dataset(DATASET), pipeline=BlockPipeline()
+        )
+        b = BlockAnalysisJob(
+            world=world200,
+            ds=dataset(DATASET),
+            pipeline=BlockPipeline(),
+            observer_style="bayesian",
+        )
+        assert a.cache_key(spec) != b.cache_key(spec)
+
+    def test_unkeyable_inputs_return_none(self):
+        assert task_key("kind", {"fn": lambda: None}) is None
+
+    def test_stable_token_dict_order_insensitive(self):
+        assert stable_token({"a": 1, "b": 2}) == stable_token({"b": 2, "a": 1})
 
 
 def _square(x: int) -> int:
