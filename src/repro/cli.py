@@ -70,6 +70,16 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--batched",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "columnar batched dispatch of the analysis tail (sets "
+            "REPRO_BATCHED; on by default, results are identical either "
+            "way — use --no-batched to force per-block dispatch)"
+        ),
+    )
+    parser.add_argument(
         "--metrics",
         action="store_true",
         help="print per-stage engine instrumentation after the run",
@@ -189,6 +199,8 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_WORKERS"] = str(args.workers)
     if args.cache is not None:
         os.environ["REPRO_CACHE"] = args.cache
+    if args.batched is not None:
+        os.environ["REPRO_BATCHED"] = "1" if args.batched else "0"
 
     if name == "list":
         print("available experiments:")

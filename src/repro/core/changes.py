@@ -13,8 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..timeseries.detect import CusumResult, detect_cusum
-from ..timeseries.series import SECONDS_PER_DAY, TimeSeries
+from ..timeseries.detect import CusumResult, detect_cusum, detect_cusum_batch
+from ..timeseries.series import SECONDS_PER_DAY, BlockMatrix, TimeSeries
 
 __all__ = ["ChangeEvent", "ChangeDetector", "ChangeReport"]
 
@@ -101,6 +101,25 @@ class ChangeDetector:
         result = detect_cusum(
             normalized_trend.values, self.threshold, self.drift, estimate_ending=True
         )
+        return self._report(result, normalized_trend)
+
+    def detect_batch(self, normalized_trends: BlockMatrix) -> list[ChangeReport]:
+        """Row-wise :meth:`detect` over a matrix of z-scored trends.
+
+        The NaN filling of the CUSUM pass is batched across rows; event
+        assembly and cause classification are shared with the scalar path,
+        so row ``i`` equals ``detect(normalized_trends.row(i))``.
+        """
+        results = detect_cusum_batch(
+            normalized_trends.values, self.threshold, self.drift, estimate_ending=True
+        )
+        return [
+            self._report(result, normalized_trends.row(i))
+            for i, result in enumerate(results)
+        ]
+
+    def _report(self, result: CusumResult, normalized_trend: TimeSeries) -> ChangeReport:
+        """Turn raw CUSUM alarms into a classified change report."""
         times = normalized_trend.times
         events = tuple(
             ChangeEvent(

@@ -14,8 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..timeseries.series import SECONDS_PER_DAY, SECONDS_PER_HOUR, TimeSeries
-from ..timeseries.spectrum import periodogram
+from ..timeseries.series import SECONDS_PER_DAY, SECONDS_PER_HOUR, BlockMatrix, TimeSeries
+from ..timeseries.spectrum import Periodogram, periodogram, periodogram_batch
 
 __all__ = ["DiurnalTest", "DiurnalVerdict"]
 
@@ -55,12 +55,30 @@ class DiurnalTest:
     def evaluate(self, counts: TimeSeries) -> DiurnalVerdict:
         """Judge a (round- or hour-sampled) active-count series."""
         hourly = counts.resample_mean(SECONDS_PER_HOUR)
-        good = np.isfinite(hourly.values)
-        n_days = float(good.sum()) / 24.0
+        n_days = float(np.isfinite(hourly.values).sum()) / 24.0
         if n_days < self.min_days:
             return DiurnalVerdict(False, 0.0, n_days)
+        return self._verdict(periodogram(hourly.values, SECONDS_PER_HOUR), n_days)
 
-        pg = periodogram(hourly.values, SECONDS_PER_HOUR)
+    def evaluate_batch(self, counts: BlockMatrix) -> list[DiurnalVerdict]:
+        """Row-wise :meth:`evaluate`: one resample pass and one 2-D FFT.
+
+        Row ``i`` equals ``evaluate(counts.row(i))`` bit for bit — the
+        batched resample and periodogram are per-row-identical to their
+        scalar forms, and the verdict maths is shared.
+        """
+        hourly = counts.resample_mean(SECONDS_PER_HOUR)
+        n_days = np.isfinite(hourly.values).sum(axis=1) / 24.0
+        verdicts = [DiurnalVerdict(False, 0.0, float(d)) for d in n_days]
+        judged = np.flatnonzero(n_days >= self.min_days)
+        if judged.size:
+            spectra = periodogram_batch(hourly.values[judged], SECONDS_PER_HOUR)
+            for pg, i in zip(spectra, judged):
+                verdicts[i] = self._verdict(pg, float(n_days[i]))
+        return verdicts
+
+    def _verdict(self, pg: Periodogram, n_days: float) -> DiurnalVerdict:
+        """Judge one periodogram (the shared tail of both evaluate paths)."""
         total = pg.total_power
         if total <= 0:
             return DiurnalVerdict(False, 0.0, n_days)

@@ -18,13 +18,16 @@ aggregates the per-stage records across blocks.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from ..net.observations import ObservationSeries
 from ..net.usage import ROUND_SECONDS
-from ..timeseries.series import TimeSeries
+from ..timeseries.detect import zscore_rows
+from ..timeseries.series import BlockMatrix, TimeSeries, group_block_matrices
 from .changes import ChangeDetector, ChangeReport
 from .combine import combine_observers
 from .outages import OutageDetector, corroborate_changes
@@ -32,7 +35,7 @@ from .reconstruction import Reconstruction, reconstruct
 from .repair import one_loss_repair
 from .sensitivity import BlockClassification, SensitivityClassifier
 from .stages import StageContext
-from .trend import TrendExtractor, TrendResult
+from .trend import MIN_ABS_SCALE, MIN_REL_SCALE, TrendExtractor, TrendResult
 
 __all__ = ["BlockAnalysis", "BlockPipeline"]
 
@@ -215,6 +218,13 @@ class BlockPipeline:
         per_observer = self.stage_repair(per_observer, ctx)
         merged = self.stage_combine(per_observer, ctx)
         recon = self.stage_reconstruct(merged, eb_addresses, sample_times, ctx)
+        return self.analyze_tail(recon, ctx)
+
+    def analyze_tail(
+        self, recon: Reconstruction, ctx: StageContext | None = None
+    ) -> BlockAnalysis:
+        """Run the analysis stages (classify/trend/detect) on a reconstruction."""
+        ctx = ctx if ctx is not None else StageContext()
         classification = self.stage_classify(recon, ctx)
         trend = self.stage_trend(recon, classification, ctx)
         changes = self.stage_detect(recon, trend, ctx)
@@ -224,6 +234,123 @@ class BlockPipeline:
             trend=trend,
             changes=changes,
         )
+
+    def analyze_tail_batch(
+        self,
+        recons: Sequence[Reconstruction],
+        ctxs: Sequence[StageContext] | None = None,
+    ) -> list[BlockAnalysis]:
+        """Batched classify/trend/detect across many reconstructions.
+
+        Blocks are grouped by shared sample grid into :class:`BlockMatrix`
+        batches; every analysis stage then runs once per batch through the
+        batched kernels, which are per-row bit-identical to the scalar
+        path, so each returned :class:`BlockAnalysis` equals
+        ``analyze_tail(recons[i])`` byte for byte.  Per-block stage records
+        carry the block's true input/output sizes and an even share of the
+        batch wall time (``batch_wall / B``), keeping aggregated stage
+        totals, skip counters, and traced span accounting shaped exactly
+        like the per-block path's.
+        """
+        if ctxs is None:
+            ctxs = [StageContext() for _ in recons]
+        if len(ctxs) != len(recons):
+            raise ValueError("need one StageContext per reconstruction")
+        analyses: list[BlockAnalysis | None] = [None] * len(recons)
+        for indices, matrix in group_block_matrices([r.counts for r in recons]):
+            n_batch = len(indices)
+            started = time.perf_counter()
+            classifications = self.classifier.classify_batch(matrix)
+            share = (time.perf_counter() - started) / n_batch
+            for pos, i in enumerate(indices):
+                ctxs[i].record_batched(
+                    "classify",
+                    wall_s=share,
+                    n_in=matrix.n_samples,
+                    n_out=int(classifications[pos].is_change_sensitive),
+                    n_batch=n_batch,
+                )
+
+            selected = [
+                pos
+                for pos in range(n_batch)
+                if self._should_detect(classifications[pos])
+            ]
+            selected_set = set(selected)
+            trends: list[TrendResult | None] = [None] * n_batch
+            for pos in range(n_batch):
+                if pos in selected_set:
+                    continue
+                reason = (
+                    "not-responsive"
+                    if not classifications[pos].responsive
+                    else "not-change-sensitive"
+                )
+                ctxs[indices[pos]].skip("trend", reason, n_in=matrix.n_samples)
+            if selected:
+                started = time.perf_counter()
+                extracted = self.trend_extractor.extract_batch(matrix.take(selected))
+                share = (time.perf_counter() - started) / len(selected)
+                for k, pos in enumerate(selected):
+                    trends[pos] = extracted[k]
+                    ctxs[indices[pos]].record_batched(
+                        "trend",
+                        wall_s=share,
+                        n_in=matrix.n_samples,
+                        n_out=len(extracted[k].trend) if extracted[k] is not None else 0,
+                        n_batch=len(selected),
+                    )
+
+            with_trend = [pos for pos in selected if trends[pos] is not None]
+            changes: list[ChangeReport | None] = [None] * n_batch
+            for pos in range(n_batch):
+                if trends[pos] is None:
+                    ctxs[indices[pos]].skip("detect", "no-trend")
+            if with_trend:
+                started = time.perf_counter()
+                stacked = np.stack([trends[pos].trend.values for pos in with_trend])
+                normalized = BlockMatrix(
+                    trends[with_trend[0]].trend.times,
+                    zscore_rows(
+                        stacked,
+                        min_abs_scale=MIN_ABS_SCALE,
+                        min_rel_scale=MIN_REL_SCALE,
+                    ),
+                )
+                reports = self.detector.detect_batch(normalized)
+                if self.corroborate_outages:
+                    reports = [
+                        ChangeReport(
+                            events=corroborate_changes(
+                                report.events,
+                                self.outage_detector.detect(
+                                    recons[indices[pos]].counts
+                                ),
+                            ),
+                            cusum=report.cusum,
+                            normalized_trend=report.normalized_trend,
+                        )
+                        for pos, report in zip(with_trend, reports)
+                    ]
+                share = (time.perf_counter() - started) / len(with_trend)
+                for k, pos in enumerate(with_trend):
+                    changes[pos] = reports[k]
+                    ctxs[indices[pos]].record_batched(
+                        "detect",
+                        wall_s=share,
+                        n_in=len(reports[k].normalized_trend),
+                        n_out=len(reports[k].events),
+                        n_batch=len(with_trend),
+                    )
+
+            for pos, i in enumerate(indices):
+                analyses[i] = BlockAnalysis(
+                    reconstruction=recons[i],
+                    classification=classifications[pos],
+                    trend=trends[pos],
+                    changes=changes[pos],
+                )
+        return analyses  # every index was covered by exactly one grid group
 
     def _should_detect(self, classification: BlockClassification) -> bool:
         return classification.is_change_sensitive or (

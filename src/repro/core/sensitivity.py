@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..timeseries.series import TimeSeries
+from ..timeseries.series import BlockMatrix, TimeSeries
 from .diurnal import DiurnalTest, DiurnalVerdict
 from .swing import SwingProfile, SwingTest
 
@@ -72,3 +72,26 @@ class SensitivityClassifier:
             diurnal=self.diurnal_test.evaluate(counts),
             swing=self.swing_test.evaluate(counts),
         )
+
+    def classify_batch(self, counts: BlockMatrix) -> list[BlockClassification]:
+        """Row-wise :meth:`classify` over a block matrix.
+
+        Responsive rows share one batched diurnal and swing evaluation;
+        row ``i`` equals ``classify(counts.row(i))`` bit for bit.
+        """
+        values = counts.values
+        responsive = (np.isfinite(values) & (values > 0)).any(axis=1)
+        out = [
+            BlockClassification(responsive=False, diurnal=None, swing=None)
+            for _ in range(len(counts))
+        ]
+        live = np.flatnonzero(responsive)
+        if live.size:
+            sub = counts.take(live)
+            verdicts = self.diurnal_test.evaluate_batch(sub)
+            profiles = self.swing_test.evaluate_batch(sub)
+            for k, i in enumerate(live):
+                out[i] = BlockClassification(
+                    responsive=True, diurnal=verdicts[k], swing=profiles[k]
+                )
+        return out

@@ -90,6 +90,30 @@ class StageContext:
         self.records.append(StageRecord(name=name, n_in=n_in, skipped=reason))
         get_registry().counter(f"stage.{name}.skips.{reason}").inc()
 
+    def record_batched(
+        self, name: str, *, wall_s: float, n_in: int = 0, n_out: int = 0, n_batch: int = 1
+    ) -> None:
+        """Record one block's share of a batched stage execution.
+
+        ``wall_s`` is the block's slice of the batch wall time (the batched
+        pipeline attributes ``batch_wall / n_batch`` to each member), while
+        ``n_in``/``n_out`` are the block's true sizes.  The record feeds the
+        same latency histogram as :meth:`stage`, and — when tracing — emits
+        a synthetic ``stage:<name>`` span under the enclosing span so
+        per-block span accounting stays intact.
+        """
+        self.records.append(
+            StageRecord(name=name, wall_s=wall_s, n_in=n_in, n_out=n_out)
+        )
+        get_registry().histogram(f"stage.{name}.wall_s").observe(wall_s)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.emit(
+                f"stage:{name}",
+                wall_s=wall_s,
+                attrs={"n_in": n_in, "n_out": n_out, "n_batch": n_batch},
+            )
+
     # -- inspection helpers -------------------------------------------------
     def by_name(self, name: str) -> list[StageRecord]:
         return [r for r in self.records if r.name == name]

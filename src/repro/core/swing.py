@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..timeseries.series import TimeSeries
+from ..timeseries.series import BlockMatrix, TimeSeries
 
 __all__ = ["SwingProfile", "SwingTest"]
 
@@ -45,6 +45,26 @@ class SwingTest:
     def evaluate(self, counts: TimeSeries) -> SwingProfile:
         """Judge a round-sampled active-count series."""
         days, swings = counts.daily_swing()
+        return self._profile(days, swings)
+
+    def evaluate_batch(self, counts: BlockMatrix) -> list[SwingProfile]:
+        """Row-wise :meth:`evaluate` via one segmented max/min reduction.
+
+        Per-day extremes come from ``np.fmax``/``np.fmin`` segment
+        reductions across the whole matrix — exact, order-free operations —
+        so row ``i`` equals ``evaluate(counts.row(i))`` bit for bit; days
+        where a row has no finite sample are dropped, as per-row grouping
+        does.
+        """
+        day_idx, swings = counts.daily_swings()
+        profiles = []
+        for row in swings:
+            present = ~np.isnan(row)
+            profiles.append(self._profile(day_idx[present], row[present]))
+        return profiles
+
+    def _profile(self, days: np.ndarray, swings: np.ndarray) -> SwingProfile:
+        """Build the profile from per-day swings (shared by both paths)."""
         if days.size == 0:
             return SwingProfile(
                 days=days,

@@ -13,11 +13,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..timeseries.detect import zscore_rows
 from ..timeseries.naive import naive_decompose
-from ..timeseries.series import SECONDS_PER_HOUR, TimeSeries
-from ..timeseries.stl import STLResult, stl_decompose
+from ..timeseries.series import SECONDS_PER_HOUR, BlockMatrix, TimeSeries
+from ..timeseries.stl import STLResult, stl_decompose, stl_decompose_batch
 
-__all__ = ["TrendExtractor", "TrendResult"]
+__all__ = ["MIN_ABS_SCALE", "MIN_REL_SCALE", "TrendExtractor", "TrendResult"]
+
+#: default normalization-scale floors (see :meth:`TrendResult.normalize`);
+#: the batched detect stage applies the same floors via ``zscore_rows``
+MIN_ABS_SCALE = 0.5
+MIN_REL_SCALE = 0.02
 
 
 @dataclass(frozen=True)
@@ -37,7 +43,7 @@ class TrendResult:
         return self.normalize()
 
     def normalize(
-        self, min_abs_scale: float = 0.5, min_rel_scale: float = 0.02
+        self, min_abs_scale: float = MIN_ABS_SCALE, min_rel_scale: float = MIN_REL_SCALE
     ) -> TimeSeries:
         """Z-score the trend with a floor on the normalization scale.
 
@@ -48,15 +54,17 @@ class TrendResult:
         as the paper's 5-address swing floor ("too small makes the
         algorithm vulnerable to noise such as individual computer
         restarts", §2.4).
+
+        Routes through :func:`repro.timeseries.detect.zscore_rows` with a
+        single row, so per-block and batched normalization are identical.
         """
         values = self.trend.values
-        good = np.isfinite(values)
-        if not good.any():
+        if not np.isfinite(values).any():
             return self.trend
-        mean = float(np.mean(values[good]))
-        std = float(np.std(values[good]))
-        scale = max(std, min_abs_scale, min_rel_scale * abs(mean))
-        return self.trend.with_values((values - mean) / scale)
+        normalized = zscore_rows(
+            values[None, :], min_abs_scale=min_abs_scale, min_rel_scale=min_rel_scale
+        )
+        return self.trend.with_values(normalized[0])
 
 
 @dataclass(frozen=True)
@@ -107,6 +115,69 @@ class TrendExtractor:
             period=self.period,
             method=self.method,
         )
+
+    def extract_batch(self, counts: BlockMatrix) -> list["TrendResult | None"]:
+        """Row-wise :meth:`extract` over a block matrix.
+
+        Rows whose per-block call would raise ``ValueError`` (all-NaN after
+        resampling, or fewer than two periods of hourly samples) come back
+        as ``None`` — the trend stage treats both identically.  Usable rows
+        run one batched STL decomposition and are bit-identical to
+        ``extract(counts.row(i))`` (see ``docs/algorithms.md`` §12).
+        """
+        n_rows = len(counts)
+        hourly = counts.resample_mean(SECONDS_PER_HOUR).interpolate_nan()
+        if hourly.times.size < 2 * self.period:
+            return [None] * n_rows
+        values = hourly.values
+        finite = np.isfinite(values)
+        usable = finite.any(axis=1)
+        if not finite.all():
+            values = values.copy()
+            for i in np.flatnonzero(usable & ~finite.all(axis=1)):
+                # leading/trailing NaNs survive interpolate_nan: hold them flat
+                row = values[i]
+                good = finite[i]
+                first = int(np.argmax(good))
+                last = row.size - 1 - int(np.argmax(good[::-1]))
+                row[:first] = row[first]
+                row[last + 1 :] = row[last]
+
+        results: list[TrendResult | None] = [None] * n_rows
+        live = np.flatnonzero(usable)
+        if not live.size:
+            return results
+        if self.method == "stl":
+            decomposition = stl_decompose_batch(
+                values[live],
+                self.period,
+                seasonal_smoother=self.seasonal_smoother,
+                outer_iterations=1 if self.robust else 0,
+            )
+            parts = [
+                (
+                    decomposition.trend[k],
+                    decomposition.seasonal[k],
+                    decomposition.residual[k],
+                )
+                for k in range(live.size)
+            ]
+        else:
+            # the naive model is one cheap pass; run the oracle row by row
+            per_row = [self._decompose(values[i]) for i in live]
+            parts = [(d.trend, d.seasonal, d.residual) for d in per_row]
+        for k, i in enumerate(live):
+            series = TimeSeries(hourly.times, values[i])
+            trend_values, seasonal_values, residual_values = parts[k]
+            results[i] = TrendResult(
+                hourly=series,
+                trend=series.with_values(trend_values),
+                seasonal=series.with_values(seasonal_values),
+                residual=series.with_values(residual_values),
+                period=self.period,
+                method=self.method,
+            )
+        return results
 
     def _decompose(self, values: np.ndarray) -> STLResult:
         if self.method == "stl":

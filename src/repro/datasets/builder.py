@@ -24,6 +24,7 @@ import numpy as np
 
 from ..core.pipeline import BlockAnalysis, BlockPipeline
 from ..core.aggregate import BlockRecord
+from ..core.reconstruction import Reconstruction
 from ..core.stages import StageContext
 from ..net.bayesian import BayesianTrinocularObserver
 from ..net.observations import ObservationSeries
@@ -260,15 +261,21 @@ class DatasetBuilder:
         return [self.observe(spec, obs, start, ds.duration_s) for obs in ds.observers]
 
     # -- analysis -----------------------------------------------------------
-    def analyze_block(
+    def reconstruct_block(
         self,
         spec: BlockSpec,
         ds: DatasetSpec | str,
         pipeline: BlockPipeline | None = None,
         *,
         ctx: StageContext | None = None,
-    ) -> BlockAnalysis:
-        """Run the pipeline on one block for one dataset window."""
+    ) -> Reconstruction:
+        """Simulate one block's observers and reconstruct its count series.
+
+        This is the front half of :meth:`analyze_block` (simulate,
+        repair, combine, reconstruct); the batched runtime path fans it
+        out per block and regroups the reconstructions into matrix
+        batches for the analysis tail.
+        """
         ds = dataset(ds) if isinstance(ds, str) else ds
         pipeline = pipeline or self.pipeline
         ctx = ctx if ctx is not None else StageContext()
@@ -278,7 +285,23 @@ class DatasetBuilder:
             truth = self.truth(spec, start, ds.duration_s)
             active.n_out = sum(len(log) for log in logs)
         grid = start + np.arange(int(ds.duration_s / ROUND_SECONDS)) * ROUND_SECONDS
-        return pipeline.analyze(logs, truth.addresses, sample_times=grid, ctx=ctx)
+        per_observer = pipeline.stage_repair(logs, ctx)
+        merged = pipeline.stage_combine(per_observer, ctx)
+        return pipeline.stage_reconstruct(merged, truth.addresses, grid, ctx)
+
+    def analyze_block(
+        self,
+        spec: BlockSpec,
+        ds: DatasetSpec | str,
+        pipeline: BlockPipeline | None = None,
+        *,
+        ctx: StageContext | None = None,
+    ) -> BlockAnalysis:
+        """Run the pipeline on one block for one dataset window."""
+        pipeline = pipeline or self.pipeline
+        ctx = ctx if ctx is not None else StageContext()
+        recon = self.reconstruct_block(spec, ds, pipeline, ctx=ctx)
+        return pipeline.analyze_tail(recon, ctx)
 
     def analyze(
         self,

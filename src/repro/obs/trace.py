@@ -164,6 +164,32 @@ class Tracer:
         """Attach spans recorded elsewhere (worker fragments) to this trace."""
         self.finished.extend(records)
 
+    def emit(
+        self, name: str, *, wall_s: float, attrs: dict[str, Any] | None = None
+    ) -> None:
+        """Record an already-measured span under the innermost open span.
+
+        Batched stages run one computation for many blocks; each block
+        emits its share of the measured wall time as a synthetic span so
+        the span tree keeps its per-block shape (and per-stage span sums
+        still match the recorded stage totals).
+        """
+        parent = self._stack[-1].span_id if self._stack else self.root_parent_id
+        merged = dict(self._tags)
+        if attrs:
+            merged.update(attrs)
+        self.finished.append(
+            SpanRecord(
+                trace_id=self.trace_id,
+                span_id=_new_id(),
+                parent_id=parent,
+                name=name,
+                start_unix=time.time() - wall_s,
+                wall_s=wall_s,
+                attrs=merged,
+            )
+        )
+
     @property
     def current_span_id(self) -> str | None:
         return self._stack[-1].span_id if self._stack else None
@@ -206,6 +232,11 @@ class NoopTracer:
         pass
 
     def adopt(self, records: Iterable[SpanRecord]) -> None:
+        pass
+
+    def emit(
+        self, name: str, *, wall_s: float, attrs: dict[str, Any] | None = None
+    ) -> None:
         pass
 
 

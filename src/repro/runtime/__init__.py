@@ -33,17 +33,20 @@ from .engine import (
     peek_run_log,
 )
 from .executors import Executor, ParallelExecutor, SerialExecutor
-from .jobs import BlockAnalysisJob
+from .jobs import BatchTailJob, BlockAnalysisJob, BlockReconstructJob, ReconstructedBlock
 
 __all__ = [
     "AnalysisCache",
+    "BatchTailJob",
     "BlockAnalysisJob",
+    "BlockReconstructJob",
     "BlockResult",
     "CACHE_SCHEMA",
     "CampaignEngine",
     "EngineRun",
     "Executor",
     "ParallelExecutor",
+    "ReconstructedBlock",
     "RunMetrics",
     "SerialExecutor",
     "ShippedResult",

@@ -56,7 +56,9 @@ __all__ = [
 
 #: Bump to invalidate every existing cache entry (result-affecting
 #: change that is invisible in the job's input fields).
-CACHE_SCHEMA = 1
+#: 2: cumsum moving average + extended LOESS fast path changed
+#: per-block result bits at the float-rounding level.
+CACHE_SCHEMA = 2
 
 
 def stable_token(obj: Any) -> str:

@@ -80,11 +80,15 @@ class TracedCall:
     fn: Callable[[Any], Any]
     trace_id: str
     parent_id: str
+    #: span name per task — "block" for per-block jobs, "batch" for the
+    #: batched path's per-chunk tail calls (so block-span accounting
+    #: still counts exactly one span per block)
+    span_name: str = "block"
 
     def __call__(self, task: Any) -> ShippedResult:
         tracer = Tracer(trace_id=self.trace_id, root_parent_id=self.parent_id)
         with scoped_registry() as registry, use_tracer(tracer):
-            with tracer.span("block", attrs={"pid": os.getpid()}):
+            with tracer.span(self.span_name, attrs={"pid": os.getpid()}):
                 value = self.fn(task)
         return ShippedResult(
             value=value, spans=tuple(tracer.finished), meters=registry.snapshot()
@@ -148,6 +152,7 @@ class RunMetrics:
     fallback: str | None = None
     meters: dict[str, Any] | None = None  # merged registry snapshot (traced runs)
     cache: dict[str, int] | None = None  # hits/misses/stores (cached runs only)
+    batched: dict[str, int] | None = None  # blocks/groups/chunks (batched runs only)
 
     @property
     def blocks_per_sec(self) -> float:
@@ -176,6 +181,7 @@ class RunMetrics:
             "fallback": self.fallback,
             "meters": self.meters,
             "cache": self.cache,
+            "batched": self.batched,
         }
 
     @classmethod
@@ -194,6 +200,7 @@ class RunMetrics:
             fallback=d.get("fallback"),
             meters=d.get("meters"),
             cache=d.get("cache"),  # absent in pre-cache saved traces
+            batched=d.get("batched"),  # absent in pre-batching saved traces
         )
 
     def report(self) -> str:
@@ -236,6 +243,12 @@ class RunMetrics:
                 f"  cache: {hits}/{looked} hits ({rate:.0f}%), "
                 f"{self.cache.get('stores', 0)} stored"
             )
+        if self.batched is not None:
+            lines.append(
+                f"  batched: {self.batched.get('blocks', 0)} blocks in "
+                f"{self.batched.get('groups', 0)} grid groups, "
+                f"{self.batched.get('chunks', 0)} chunks"
+            )
         return "\n".join(lines)
 
 
@@ -245,6 +258,56 @@ class EngineRun:
 
     results: list[Any]
     metrics: RunMetrics
+
+
+@dataclass(frozen=True)
+class _TracedDispatch:
+    """Where a traced run's shipped telemetry fragments accumulate."""
+
+    tracer: Tracer
+    registry: MetricsRegistry
+    parent_id: str
+
+
+def _chunk_group(
+    members: list[tuple[int, Any]], workers: int, min_rows: int = 8
+) -> list[list[tuple[int, Any]]]:
+    """Split one grid group into tail-job chunks.
+
+    Serial execution keeps the whole group as one chunk (maximum batch
+    width); a parallel executor gets about two chunks per worker so the
+    pool load-balances, but never chunks below ``min_rows`` — tiny
+    batches forfeit the columnar win to dispatch overhead.
+    """
+    if workers <= 1 or len(members) <= min_rows:
+        return [members]
+    size = max(-(-len(members) // (workers * 2)), min_rows)
+    return [members[i : i + size] for i in range(0, len(members), size)]
+
+
+def _resolve_batched(value: bool | None) -> bool:
+    """Resolve the batched-dispatch setting (``REPRO_BATCHED`` when None).
+
+    Unset or empty means on — batching is the default because results
+    are identical to per-block dispatch.  Garbage values warn and keep
+    the default rather than silently changing execution.
+    """
+    if value is not None:
+        return bool(value)
+    raw = os.environ.get("REPRO_BATCHED", "").strip()
+    if not raw:
+        return True
+    lowered = raw.lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    warnings.warn(
+        f"REPRO_BATCHED={raw!r} is not a boolean; batching stays on",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return True
 
 
 #: Bounded history of recent runs, drained by ``repro --metrics``.
@@ -271,10 +334,19 @@ class CampaignEngine:
     """
 
     def __init__(
-        self, executor: Executor | None = None, cache: AnalysisCache | None = None
+        self,
+        executor: Executor | None = None,
+        cache: AnalysisCache | None = None,
+        batched: bool | None = None,
     ) -> None:
+        """``batched`` selects the columnar dispatch path for jobs that
+        support it (``fn.batched_split()``); ``None`` defers to the
+        ``REPRO_BATCHED`` environment variable (the CLI's ``--batched`` /
+        ``--no-batched``), which defaults to on.  Results are identical
+        either way — the flag only changes how the work is executed."""
         self.executor: Executor = executor or SerialExecutor()
         self.cache = cache
+        self.batched = _resolve_batched(batched)
         self.history: list[RunMetrics] = []
 
     def run(
@@ -306,22 +378,38 @@ class CampaignEngine:
         merges the snapshots into :attr:`RunMetrics.meters` and the
         process-wide registry.  Tracing never touches task results:
         serial and parallel runs stay byte-identical with it on or off.
+
+        When the engine is :attr:`batched` and ``fn`` exposes
+        ``batched_split()``, dispatch happens in two phases inside this
+        one run: the per-block phase fans out, survivors regroup by
+        shared sample grid into matrix chunks, and the batch phase maps
+        the tail job over the chunks.  Cache keys, results, and stage
+        records are those of the per-block path, byte for byte;
+        :attr:`RunMetrics.batched` records what was regrouped.
         """
         tracer = get_tracer() if tracer is None else tracer
         tasks = list(tasks)
+        use_batched = self.batched and hasattr(fn, "batched_split")
 
         start = time.perf_counter()
         keys, hits, pending = self._consult_cache(fn, tasks)
         pending_tasks = [tasks[i] for i in pending]
         if not tracer.enabled:
-            computed = self.executor.map(fn, pending_tasks)
+            if use_batched:
+                computed, batched_stats = self._dispatch_batched(fn, pending_tasks)
+            else:
+                computed = self.executor.map(fn, pending_tasks)
+                batched_stats = None
             wall_s = time.perf_counter() - start
             results = self._merge_results(len(tasks), hits, pending, computed)
             metrics = self._aggregate(results, label=label, wall_s=wall_s)
+            metrics.batched = batched_stats
             stores = self._store_results(keys, pending, computed)
             metrics.cache = self._cache_stats(keys, hits, pending, stores)
             if metrics.cache is not None:
                 self._emit_cache_counters(get_registry(), metrics.cache)
+            if batched_stats is not None:
+                self._emit_batched_counters(get_registry(), batched_stats)
         else:
             results, metrics = self._run_traced(
                 fn,
@@ -332,6 +420,7 @@ class CampaignEngine:
                 keys=keys,
                 hits=hits,
                 pending=pending,
+                use_batched=use_batched,
             )
         self.history.append(metrics)
         _RUN_LOG.append(metrics)
@@ -413,25 +502,34 @@ class CampaignEngine:
         keys: list[str | None] | None,
         hits: dict[int, Any],
         pending: list[int],
+        use_batched: bool = False,
     ) -> tuple[list[Any], RunMetrics]:
         with tracer.span(
             "campaign",
             attrs={"label": label, "executor": self.executor.name, "n_tasks": len(tasks)},
         ) as span:
-            call = TracedCall(fn=fn, trace_id=tracer.trace_id, parent_id=span.span_id)
-            shipped = self.executor.map(call, [tasks[i] for i in pending])
-            wall_s = time.perf_counter() - started
-            computed = [s.value for s in shipped]
-            results = self._merge_results(len(tasks), hits, pending, computed)
             merged = MetricsRegistry()
-            for s in shipped:
-                tracer.adopt(s.spans)
-                merged.merge(s.meters)
+            traced = _TracedDispatch(
+                tracer=tracer, registry=merged, parent_id=span.span_id
+            )
+            pending_tasks = [tasks[i] for i in pending]
+            if use_batched:
+                computed, batched_stats = self._dispatch_batched(
+                    fn, pending_tasks, traced
+                )
+            else:
+                computed = self._map_tasks(fn, pending_tasks, traced, "block")
+                batched_stats = None
+            wall_s = time.perf_counter() - started
+            results = self._merge_results(len(tasks), hits, pending, computed)
             metrics = self._aggregate(results, label=label, wall_s=wall_s)
+            metrics.batched = batched_stats
             stores = self._store_results(keys, pending, computed)
             metrics.cache = self._cache_stats(keys, hits, pending, stores)
             if metrics.cache is not None:
                 self._emit_cache_counters(merged, metrics.cache)
+            if batched_stats is not None:
+                self._emit_batched_counters(merged, batched_stats)
             merged.counter("engine.tasks").inc(len(results))
             merged.histogram("engine.run_wall_s").observe(wall_s)
             for key, n in metrics.funnel.items():
@@ -444,6 +542,83 @@ class CampaignEngine:
             if metrics.cache is not None:
                 span.set(cache_hits=metrics.cache["hits"])
         return results, metrics
+
+    # -- batched dispatch ---------------------------------------------------
+    def _map_tasks(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: list[Any],
+        traced: "_TracedDispatch | None",
+        span_name: str,
+    ) -> list[Any]:
+        """One executor fan-out, through :class:`TracedCall` when traced."""
+        if traced is None:
+            return self.executor.map(fn, tasks)
+        call = TracedCall(
+            fn=fn,
+            trace_id=traced.tracer.trace_id,
+            parent_id=traced.parent_id,
+            span_name=span_name,
+        )
+        shipped = self.executor.map(call, tasks)
+        values = []
+        for s in shipped:
+            traced.tracer.adopt(s.spans)
+            traced.registry.merge(s.meters)
+            values.append(s.value)
+        return values
+
+    def _dispatch_batched(
+        self,
+        fn: Callable[[Any], Any],
+        pending_tasks: list[Any],
+        traced: "_TracedDispatch | None" = None,
+    ) -> tuple[list[Any], dict[str, int]]:
+        """Two-phase dispatch: per-block reconstruction, then batched tails.
+
+        Phase A maps the reconstruct job over every pending task (one
+        ``block`` span each, exactly like per-block dispatch).  Tasks
+        that short-circuited already hold their final result; the rest
+        regroup by shared sample grid, are chunked to keep a parallel
+        executor's pool busy, and phase B maps the tail job over the
+        chunks (one ``batch`` span each).  Slot order is preserved, so
+        the caller merges results exactly as in the per-block path.
+        """
+        recon_fn, tail_fn = fn.batched_split()
+        produced = self._map_tasks(recon_fn, pending_tasks, traced, "block")
+        slots: list[Any] = [None] * len(produced)
+        survivors: list[tuple[int, Any]] = []
+        for i, item in enumerate(produced):
+            if isinstance(item, BlockResult):
+                slots[i] = item  # firewalled short-circuit: already final
+            else:
+                survivors.append((i, item))
+        groups: dict[bytes, list[tuple[int, Any]]] = {}
+        for i, rb in survivors:
+            grid = rb.reconstruction.counts.times.tobytes()
+            groups.setdefault(grid, []).append((i, rb))
+        workers = getattr(self.executor, "workers", 1)
+        chunks: list[list[tuple[int, Any]]] = []
+        for members in groups.values():
+            chunks.extend(_chunk_group(members, workers))
+        computed = self._map_tasks(
+            tail_fn, [tuple(rb for _, rb in c) for c in chunks], traced, "batch"
+        )
+        for members, block_results in zip(chunks, computed):
+            for (i, _), result in zip(members, block_results):
+                slots[i] = result
+        stats = {
+            "blocks": len(survivors),
+            "groups": len(groups),
+            "chunks": len(chunks),
+        }
+        return slots, stats
+
+    @staticmethod
+    def _emit_batched_counters(registry: MetricsRegistry, stats: dict[str, int]) -> None:
+        registry.counter("engine.batched.blocks").inc(stats["blocks"])
+        registry.counter("engine.batched.groups").inc(stats["groups"])
+        registry.counter("engine.batched.chunks").inc(stats["chunks"])
 
     # -- aggregation -------------------------------------------------------
     def _aggregate(self, results: list[Any], *, label: str, wall_s: float) -> RunMetrics:

@@ -83,14 +83,16 @@ class ParallelExecutor:
         n_workers = min(self.workers, len(tasks))
         chunk = self.chunk_size or max(1, -(-len(tasks) // (n_workers * 4)))
         registry = get_registry()
-        registry.gauge("executor.pool_workers").set(n_workers)
-        registry.gauge("executor.chunk_size").set(chunk)
         try:
             pool = ProcessPoolExecutor(max_workers=n_workers)
         except (OSError, ValueError, RuntimeError) as exc:
             self.fallback_reason = f"pool spawn failed: {type(exc).__name__}: {exc}"
             registry.counter("executor.fallbacks").inc()
             return [fn(task) for task in tasks]
+        # gauges describe a pool that actually exists; emitting them
+        # before the spawn would report a pool that fell back to serial
+        registry.gauge("executor.pool_workers").set(n_workers)
+        registry.gauge("executor.chunk_size").set(chunk)
         try:
             with pool:
                 return list(pool.map(fn, tasks, chunksize=chunk))

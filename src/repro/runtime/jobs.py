@@ -7,6 +7,13 @@ object is shipped once per chunk to pool workers; each call constructs
 its own :class:`~repro.datasets.builder.DatasetBuilder`, which keeps
 results byte-identical between serial and parallel execution (no shared
 mutable caches).
+
+The batched dispatch path splits :class:`BlockAnalysisJob` in two via
+:meth:`BlockAnalysisJob.batched_split`: a :class:`BlockReconstructJob`
+that fans out per block (simulation dominates and does not batch) and a
+:class:`BatchTailJob` that runs the analysis tail — classify, trend,
+detect — over a whole chunk of reconstructions at once through the
+batched columnar kernels.
 """
 
 from __future__ import annotations
@@ -14,7 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.pipeline import BlockPipeline
-from ..core.stages import PIPELINE_STAGES, StageContext
+from ..core.reconstruction import Reconstruction
+from ..core.stages import PIPELINE_STAGES, StageContext, StageRecord
 from ..datasets.catalog import DatasetSpec
 from ..net.world import BlockSpec, WorldModel
 from ..obs.metrics import get_registry
@@ -22,7 +30,27 @@ from ..obs.trace import annotate
 from .cache import task_key
 from .engine import BlockResult
 
-__all__ = ["BlockAnalysisJob"]
+__all__ = [
+    "BatchTailJob",
+    "BlockAnalysisJob",
+    "BlockReconstructJob",
+    "ReconstructedBlock",
+]
+
+
+@dataclass(frozen=True)
+class ReconstructedBlock:
+    """Phase-A output of the batched path: one block, reconstructed.
+
+    Carries the stage records of the front half (simulate, repair,
+    combine, reconstruct) so the tail job can prepend them to its own
+    and return a :class:`BlockResult` indistinguishable from the
+    per-block path's.
+    """
+
+    key: str
+    reconstruction: Reconstruction
+    stages: tuple[StageRecord, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -60,24 +88,37 @@ class BlockAnalysisJob:
             },
         )
 
+    def batched_split(self) -> "tuple[BlockReconstructJob, BatchTailJob]":
+        """The (per-block, per-batch) job pair of the batched dispatch path.
+
+        The engine maps the reconstruct job over blocks exactly like
+        this job, regroups surviving reconstructions by sample grid,
+        and maps the tail job over chunks; per-chunk results carry the
+        same keys, analyses, and stage-record shapes as ``self`` would
+        produce, byte for byte.
+        """
+        return (
+            BlockReconstructJob(
+                world=self.world,
+                ds=self.ds,
+                pipeline=self.pipeline,
+                observer_style=self.observer_style,
+            ),
+            BatchTailJob(pipeline=self.pipeline),
+        )
+
     def __call__(self, spec: BlockSpec) -> BlockResult:
         # Imported here: datasets.builder composes over this package, so
         # a module-level import would be circular.
-        from ..datasets.builder import DatasetBuilder, unresponsive_analysis
+        from ..datasets.builder import DatasetBuilder
 
         # label the engine's per-task "block" span (no-op when untraced)
         annotate(block=spec.block.cidr, dataset=self.ds.name)
-        ctx = StageContext()
-        if not spec.responsive_by_design:
-            get_registry().counter("blocks.firewalled").inc()
-            for name in PIPELINE_STAGES:
-                ctx.skip(name, "firewalled")
-            return BlockResult(
-                key=spec.block.cidr,
-                analysis=unresponsive_analysis(),
-                stages=tuple(ctx.records),
-            )
+        short = _firewalled_result(spec)
+        if short is not None:
+            return short
         get_registry().counter("blocks.analyzed").inc()
+        ctx = StageContext()
         builder = DatasetBuilder(
             self.world, self.pipeline, observer_style=self.observer_style
         )
@@ -85,3 +126,114 @@ class BlockAnalysisJob:
         return BlockResult(
             key=spec.block.cidr, analysis=analysis, stages=tuple(ctx.records)
         )
+
+
+@dataclass(frozen=True)
+class BlockReconstructJob:
+    """Phase A of the batched path: simulate + reconstruct one block.
+
+    Mirrors :class:`BlockAnalysisJob` exactly up to the reconstruction:
+    same firewalled short-circuit (returning the finished
+    :class:`BlockResult` — those blocks never reach the tail), same
+    funnel counters, same span annotations.
+    """
+
+    world: WorldModel
+    ds: DatasetSpec
+    pipeline: BlockPipeline
+    observer_style: str = "adaptive"
+
+    def __call__(self, spec: BlockSpec) -> BlockResult | ReconstructedBlock:
+        from ..datasets.builder import DatasetBuilder
+
+        annotate(block=spec.block.cidr, dataset=self.ds.name)
+        short = _firewalled_result(spec)
+        if short is not None:
+            return short
+        get_registry().counter("blocks.analyzed").inc()
+        ctx = StageContext()
+        builder = DatasetBuilder(
+            self.world, self.pipeline, observer_style=self.observer_style
+        )
+        recon = builder.reconstruct_block(spec, self.ds, ctx=ctx)
+        return ReconstructedBlock(
+            key=spec.block.cidr, reconstruction=recon, stages=tuple(ctx.records)
+        )
+
+
+@dataclass(frozen=True)
+class BatchTailJob:
+    """Phase B of the batched path: the analysis tail over one chunk.
+
+    One call runs classify/trend/detect for every block in the chunk
+    through :meth:`~repro.core.pipeline.BlockPipeline.analyze_tail_batch`
+    (per-row bit-identical to the scalar stages) and stitches each
+    block's front-half stage records back in front of its tail records,
+    so downstream aggregation cannot tell the paths apart.
+    """
+
+    pipeline: BlockPipeline
+
+    def __call__(
+        self, chunk: tuple[ReconstructedBlock, ...]
+    ) -> tuple[BlockResult, ...]:
+        # label the engine's per-chunk "batch" span (no-op when untraced)
+        annotate(n_blocks=len(chunk))
+        ctxs = [StageContext() for _ in chunk]
+        analyses = self.pipeline.analyze_tail_batch(
+            [_canonical_reconstruction(rb.reconstruction) for rb in chunk], ctxs
+        )
+        return tuple(
+            BlockResult(
+                key=rb.key,
+                analysis=analysis,
+                stages=rb.stages + tuple(ctx.records),
+            )
+            for rb, analysis, ctx in zip(chunk, analyses, ctxs)
+        )
+
+
+def _canonical_dtype_view(arr):
+    """Re-view an array onto the process-canonical dtype singleton.
+
+    Unpickled arrays (a reconstruction shipped to a pool worker) carry a
+    dtype *instance* distinct from numpy's interned singleton, and ufunc
+    results inherit whichever instance their input held.  Left alone,
+    the tail's output graph would mix both objects and its pickle bytes
+    would differ from the serial path's — same values, different memo
+    structure.  Viewing onto ``arr.dtype.type`` (which numpy resolves to
+    the singleton) restores one dtype object per graph.
+    """
+    return arr.view(arr.dtype.type)
+
+
+def _canonical_reconstruction(recon: Reconstruction) -> Reconstruction:
+    from dataclasses import replace
+
+    from ..timeseries.series import TimeSeries
+
+    return replace(
+        recon,
+        counts=TimeSeries(
+            _canonical_dtype_view(recon.counts.times),
+            _canonical_dtype_view(recon.counts.values),
+        ),
+        observed_addresses=_canonical_dtype_view(recon.observed_addresses),
+    )
+
+
+def _firewalled_result(spec: BlockSpec) -> BlockResult | None:
+    """The shared short-circuit for blocks that never answer probes."""
+    from ..datasets.builder import unresponsive_analysis
+
+    if spec.responsive_by_design:
+        return None
+    get_registry().counter("blocks.firewalled").inc()
+    ctx = StageContext()
+    for name in PIPELINE_STAGES:
+        ctx.skip(name, "firewalled")
+    return BlockResult(
+        key=spec.block.cidr,
+        analysis=unresponsive_analysis(),
+        stages=tuple(ctx.records),
+    )

@@ -3,38 +3,59 @@
 Everything here is independent of the networking layers; it is the
 from-scratch replacement for the statsmodels/detecta functionality the
 paper relied on (offline environment: neither package is available).
+
+Each kernel exists in two shapes: the scalar per-series form and a
+``*_batch`` form over ``(B, n)`` matrices (see :class:`BlockMatrix`).
+The scalar forms route through the batched cores with ``B == 1``, so
+the pair is bit-identical by construction.
 """
 
-from .detect import CusumAlarm, CusumResult, detect_cusum
-from .loess import loess_smooth, tricube
+from .detect import CusumAlarm, CusumResult, detect_cusum, detect_cusum_batch, zscore_rows
+from .loess import loess_smooth, loess_smooth_batch, tricube
 from .naive import naive_decompose
 from .series import (
     SECONDS_PER_DAY,
     SECONDS_PER_HOUR,
+    BlockMatrix,
     TimeSeries,
     day_index,
+    group_block_matrices,
     second_of_day,
     utc_datetime,
 )
-from .spectrum import Periodogram, diurnal_energy_ratio, periodogram
-from .stl import STLResult, stl_decompose
+from .spectrum import (
+    Periodogram,
+    diurnal_energy_ratio,
+    diurnal_energy_ratio_batch,
+    periodogram,
+    periodogram_batch,
+)
+from .stl import STLResult, stl_decompose, stl_decompose_batch
 
 __all__ = [
     "CusumAlarm",
     "CusumResult",
     "detect_cusum",
+    "detect_cusum_batch",
+    "zscore_rows",
     "loess_smooth",
+    "loess_smooth_batch",
     "tricube",
     "naive_decompose",
     "SECONDS_PER_DAY",
     "SECONDS_PER_HOUR",
+    "BlockMatrix",
     "TimeSeries",
     "day_index",
+    "group_block_matrices",
     "second_of_day",
     "utc_datetime",
     "Periodogram",
     "diurnal_energy_ratio",
+    "diurnal_energy_ratio_batch",
     "periodogram",
+    "periodogram_batch",
     "STLResult",
     "stl_decompose",
+    "stl_decompose_batch",
 ]

@@ -28,7 +28,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["CusumAlarm", "CusumResult", "detect_cusum", "detect_cusum_reference"]
+__all__ = [
+    "CusumAlarm",
+    "CusumResult",
+    "detect_cusum",
+    "detect_cusum_batch",
+    "detect_cusum_reference",
+    "zscore_rows",
+]
 
 
 @dataclass(frozen=True)
@@ -201,22 +208,14 @@ def _paired_endings(
     return ends
 
 
-def _detect(
-    values: np.ndarray,
+def _finish(
+    x: np.ndarray,
     threshold: float,
     drift: float,
     estimate_ending: bool,
     cusum_pass,
 ) -> CusumResult:
-    x = np.asarray(values, dtype=np.float64).copy()
-    if x.ndim != 1:
-        raise ValueError("values must be one-dimensional")
-    good = np.isfinite(x)
-    if not good.any():
-        return CusumResult((), np.zeros(x.size), np.zeros(x.size))
-    if not good.all():
-        x = _forward_fill(x)
-
+    """Forward/backward passes and alarm assembly for one filled series."""
     alarms, starts, directions, gp, gn = cusum_pass(x, threshold, drift)
 
     ends = list(alarms)
@@ -235,6 +234,24 @@ def _detect(
         for a, s, e, d in zip(alarms, starts, ends, directions)
     )
     return CusumResult(out, gp, gn)
+
+
+def _detect(
+    values: np.ndarray,
+    threshold: float,
+    drift: float,
+    estimate_ending: bool,
+    cusum_pass,
+) -> CusumResult:
+    x = np.asarray(values, dtype=np.float64).copy()
+    if x.ndim != 1:
+        raise ValueError("values must be one-dimensional")
+    good = np.isfinite(x)
+    if not good.any():
+        return CusumResult((), np.zeros(x.size), np.zeros(x.size))
+    if not good.all():
+        x = _forward_fill(x)
+    return _finish(x, threshold, drift, estimate_ending, cusum_pass)
 
 
 def detect_cusum(
@@ -271,3 +288,76 @@ def detect_cusum_reference(
 ) -> CusumResult:
     """The scalar-recursion oracle for :func:`detect_cusum` (tests only)."""
     return _detect(values, threshold, drift, estimate_ending, _cusum_pass_reference)
+
+
+def detect_cusum_batch(
+    values: np.ndarray,
+    threshold: float = 1.0,
+    drift: float = 0.001,
+    *,
+    estimate_ending: bool = True,
+) -> list[CusumResult]:
+    """Row-wise :func:`detect_cusum` over a ``(B, n)`` matrix.
+
+    NaN forward-filling is vectorized across all rows at once; each row's
+    forward/backward passes then reuse the segmented CUSUM kernel, so row
+    ``i`` is identical to ``detect_cusum(values[i], ...)``.
+    """
+    x = np.asarray(values, dtype=np.float64).copy()
+    if x.ndim != 2:
+        raise ValueError("values must be a (B, n) matrix")
+    n_rows, n = x.shape
+    good = np.isfinite(x)
+    usable = good.any(axis=1)
+    if n and not good.all():
+        # leading NaNs take the row's first finite value, then forward-fill:
+        # the same index/maximum.accumulate trick as _forward_fill, batched
+        first = np.argmax(good, axis=1)
+        lead = np.arange(n)[None, :] < first[:, None]
+        x = np.where(lead, x[np.arange(n_rows), first][:, None], x)
+        idx = np.where(np.isfinite(x), np.arange(n)[None, :], 0)
+        np.maximum.accumulate(idx, axis=1, out=idx)
+        x = np.take_along_axis(x, idx, axis=1)
+    return [
+        _finish(x[i], threshold, drift, estimate_ending, _cusum_pass)
+        if usable[i]
+        else CusumResult((), np.zeros(n), np.zeros(n))
+        for i in range(n_rows)
+    ]
+
+
+def zscore_rows(
+    values: np.ndarray,
+    *,
+    min_abs_scale: float = 0.0,
+    min_rel_scale: float = 0.0,
+) -> np.ndarray:
+    """Row-wise z-normalization with a floored scale.
+
+    Each row is normalized as ``(x - mean) / scale`` with
+    ``scale = max(std, min_abs_scale, min_rel_scale * |mean|)`` over the
+    row's finite samples — the same floor logic as
+    :meth:`repro.core.trend.TrendResult.normalize`, which routes through
+    this kernel with ``B == 1``.  Rows without any finite sample are
+    returned unchanged.
+    """
+    x = np.asarray(values, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError("values must be a (B, n) matrix")
+    good = np.isfinite(x)
+    live = good.any(axis=1)
+    if good.all():
+        mean = x.mean(axis=1)
+        std = x.std(axis=1)
+    else:
+        mean = np.zeros(x.shape[0])
+        std = np.zeros(x.shape[0])
+        for i in np.flatnonzero(live):
+            row = x[i][good[i]]
+            mean[i] = float(np.mean(row))
+            std[i] = float(np.std(row))
+    scale = np.maximum(std, np.maximum(min_abs_scale, min_rel_scale * np.abs(mean)))
+    out = x.copy()
+    rows = np.flatnonzero(live)
+    out[rows] = (x[rows] - mean[rows, None]) / scale[rows, None]
+    return out

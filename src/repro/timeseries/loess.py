@@ -7,13 +7,22 @@ weights, on arbitrary (not necessarily regular) abscissae.
 Only the pieces STL needs are implemented: degree 0 or 1 local fits, a
 nearest-``q`` neighbourhood bandwidth, and evaluation either at the input
 points or at arbitrary query points.
+
+The uniform-grid fast path operates on a ``(B, n)`` value matrix so that
+batched STL can smooth every block's series in one sliding-window pass
+(:func:`loess_smooth_batch`); the 1-D entry point routes through the same
+code with ``B == 1``, which is what makes per-block and batched results
+bit-identical.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["loess_smooth", "tricube"]
+__all__ = ["loess_smooth", "loess_smooth_batch", "tricube"]
+
+# cap the (rows, nout, q) sliding-window temporaries at ~32 MB per array
+_CHUNK_ELEMS = 4_000_000
 
 
 def tricube(u: np.ndarray) -> np.ndarray:
@@ -70,57 +79,107 @@ def _loess_uniform(
     *,
     degree: int,
     xout: np.ndarray,
-    robustness_weights: np.ndarray,
+    robustness_weights: np.ndarray | None,
 ) -> np.ndarray | None:
-    """Vectorized LOESS for a uniform grid evaluated at its own points.
+    """Vectorized LOESS for a uniform grid, batched over rows.
 
-    On a uniform grid the nearest-``q`` neighbourhood of point ``i`` is the
-    centered window clipped at the edges, and every window shares one
+    On a uniform grid the nearest-``q`` neighbourhood of a query point is
+    the centered window clipped at the edges, and every window shares one
     offset pattern, so the whole fit reduces to sliding-window matrix
-    arithmetic.  Returns ``None`` when the fast path does not apply.
+    arithmetic.  ``y`` and ``robustness_weights`` may be ``(n,)`` or
+    ``(B, n)``; the output has the matching leading shape.  ``xout`` may be
+    any set of points aligned to the grid of ``x``, including points
+    outside it — the cycle-subseries extension ``-1..m`` lands here instead
+    of the scalar loop, with windows and bandwidths identical to
+    :func:`_sorted_window`'s (the farthest-point distance is always >= one
+    grid step, so the >=1 bandwidth clamp is inert).  Row results do not
+    depend on the batch size (every reduction is a per-row sum over
+    ``q < 128`` window elements, which numpy sums sequentially), so batched
+    rows are bit-identical to one-at-a-time calls.  Returns ``None`` when
+    the fast path does not apply.
+
+    ``robustness_weights=None`` means all-ones (STL's first outer pass,
+    and every non-robust smoother): the weight matrix is then the shared
+    ``(nout, q)`` tricube pattern, so ``sw``/``swx``/``swxx`` are
+    row-independent and computed once.  Multiplying by an exact 1.0 is
+    the identity in IEEE arithmetic, so this branch is bit-identical to
+    passing an explicit ones matrix.
     """
     n = x.size
-    if n < 3 or q >= n or xout is not x and (
-        xout.size != n or not np.array_equal(xout, x)
-    ):
+    if n < 3 or q >= n:
         return None
     dx = x[1] - x[0]
     if dx <= 0 or not np.allclose(np.diff(x), dx, rtol=1e-9, atol=0):
         return None
+    if xout is x:
+        gpos = np.arange(n)
+    else:
+        g = (xout - x[0]) / dx
+        rounded = np.rint(g)
+        if not np.allclose(g, rounded, rtol=0, atol=1e-6):
+            return None
+        gpos = rounded.astype(np.intp)
 
-    idx = np.arange(n)
-    starts = np.clip(idx - (q - 1) // 2, 0, n - q)
-    offsets = idx - starts  # position of the query point within its window
-    rel = np.arange(q)[None, :] - offsets[:, None]  # window offsets in grid units
+    starts = np.clip(gpos - (q - 1) // 2, 0, n - q)
+    rel = np.arange(q)[None, :] + (starts - gpos)[:, None]  # offsets in grid units
     h = np.maximum(np.abs(rel).max(axis=1), 1)[:, None].astype(np.float64)
     base_w = tricube(rel / h)
+    xc = rel * dx
 
     from numpy.lib.stride_tricks import sliding_window_view
 
-    y_win = sliding_window_view(y, q)[starts]
-    rw_win = sliding_window_view(robustness_weights, q)[starts]
-    w = base_w * rw_win
-    xc = rel * dx
-
-    sw = w.sum(axis=1)
-    swy = (w * y_win).sum(axis=1)
-    safe_sw = np.maximum(sw, 1e-300)
-    if degree == 0:
-        out = swy / safe_sw
-    else:
-        swx = (w * xc).sum(axis=1)
-        swxx = (w * xc * xc).sum(axis=1)
-        swxy = (w * xc * y_win).sum(axis=1)
-        denom = sw * swxx - swx * swx
-        ok = np.abs(denom) > 1e-12 * np.maximum(sw * swxx, 1e-12)
-        slope = np.where(ok, (sw * swxy - swx * swy) / np.where(ok, denom, 1.0), 0.0)
-        out = (swy - slope * swx) / safe_sw
-    # windows whose weights all vanished fall back to the plain window mean
-    dead = sw <= 0
-    if dead.any():
-        out = out.copy()
-        out[dead] = y_win[dead].mean(axis=1)
-    return out
+    y2 = np.atleast_2d(y)
+    rw2 = (
+        None
+        if robustness_weights is None
+        else np.atleast_2d(robustness_weights)
+    )
+    nout = gpos.size
+    out = np.empty((y2.shape[0], nout), dtype=np.float64)
+    if rw2 is None:
+        # the weight matrix is row-independent: fold it once
+        ones_sw = base_w.sum(axis=-1)
+        ones_wxc = base_w * xc
+        ones_swx = ones_wxc.sum(axis=-1)
+        ones_swxx = (ones_wxc * xc).sum(axis=-1)
+    step = max(_CHUNK_ELEMS // max(nout * q, 1), 1)
+    for lo in range(0, y2.shape[0], step):
+        rows = slice(lo, lo + step)
+        y_win = sliding_window_view(y2[rows], q, axis=-1)[:, starts, :]
+        if rw2 is None:
+            w, wxc = base_w, None
+            sw, swx, swxx = ones_sw, ones_swx, ones_swxx
+        else:
+            rw_win = sliding_window_view(rw2[rows], q, axis=-1)[:, starts, :]
+            w = base_w * rw_win
+            sw = w.sum(axis=-1)
+        swy = (w * y_win).sum(axis=-1)
+        safe_sw = np.maximum(sw, 1e-300)
+        if degree == 0:
+            block = swy / safe_sw
+        else:
+            if rw2 is None:
+                swxy = (ones_wxc * y_win).sum(axis=-1)
+            else:
+                wxc = w * xc
+                swx = wxc.sum(axis=-1)
+                swxx = (wxc * xc).sum(axis=-1)
+                swxy = (wxc * y_win).sum(axis=-1)
+            denom = sw * swxx - swx * swx
+            ok = np.abs(denom) > 1e-12 * np.maximum(sw * swxx, 1e-12)
+            slope = np.where(
+                ok, (sw * swxy - swx * swy) / np.where(ok, denom, 1.0), 0.0
+            )
+            block = (swy - slope * swx) / safe_sw
+        # windows whose weights all vanished fall back to the plain window mean
+        dead = sw <= 0
+        if dead.any():
+            if rw2 is None:
+                block[:, dead] = y_win[:, dead, :].mean(axis=-1)
+            else:
+                block[dead] = y_win[dead].mean(axis=-1)
+        out[rows] = block
+    return out if y.ndim == 2 else out[0]
 
 
 def loess_smooth(
@@ -164,16 +223,17 @@ def loess_smooth(
     if xout is None:
         xout = x
     xout = np.asarray(xout, dtype=np.float64)
-    rw = (
-        np.ones_like(y)
+    rw_in = (
+        None
         if robustness_weights is None
         else np.asarray(robustness_weights, dtype=np.float64)
     )
 
-    fast = _loess_uniform(x, y, q, degree=degree, xout=xout, robustness_weights=rw)
+    fast = _loess_uniform(x, y, q, degree=degree, xout=xout, robustness_weights=rw_in)
     if fast is not None:
         return fast
 
+    rw = np.ones_like(y) if rw_in is None else rw_in
     sorted_x = x.size < 2 or bool(np.all(np.diff(x) > 0))
 
     out = np.empty(xout.size, dtype=np.float64)
@@ -212,3 +272,61 @@ def loess_smooth(
             intercept = (swy - slope * swx) / sw
             out[j] = intercept  # evaluated at xc = 0
     return out
+
+
+def loess_smooth_batch(
+    x: np.ndarray,
+    values: np.ndarray,
+    q: int,
+    *,
+    degree: int = 1,
+    xout: np.ndarray | None = None,
+    robustness_weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Row-wise :func:`loess_smooth` over a ``(B, n)`` value matrix.
+
+    Every row's result is identical to ``loess_smooth(x, values[i], ...)``:
+    the uniform-grid fast path computes per-row reductions that do not
+    depend on the batch size, and inputs that miss the fast path fall back
+    to the scalar smoother one row at a time.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2 or x.ndim != 1 or values.shape[1] != x.size:
+        raise ValueError("values must be a (B, n) matrix with n matching x")
+    if degree not in (0, 1):
+        raise ValueError("degree must be 0 or 1")
+    if xout is None:
+        xout = x
+    xout = np.asarray(xout, dtype=np.float64)
+    if values.shape[0] == 0:
+        return np.empty((0, xout.size), dtype=np.float64)
+    if x.size == 0:
+        return np.empty((values.shape[0], 0), dtype=np.float64)
+    q = max(int(q), 2)
+    rw_in = (
+        None
+        if robustness_weights is None
+        else np.asarray(robustness_weights, dtype=np.float64)
+    )
+    if rw_in is not None and rw_in.shape != values.shape:
+        raise ValueError("robustness_weights must match the shape of values")
+
+    fast = _loess_uniform(
+        x, values, q, degree=degree, xout=xout, robustness_weights=rw_in
+    )
+    if fast is not None:
+        return fast
+    return np.stack(
+        [
+            loess_smooth(
+                x,
+                values[i],
+                q,
+                degree=degree,
+                xout=xout,
+                robustness_weights=None if rw_in is None else rw_in[i],
+            )
+            for i in range(values.shape[0])
+        ]
+    )

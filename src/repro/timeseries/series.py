@@ -25,8 +25,10 @@ SECONDS_PER_HOUR = 3_600
 __all__ = [
     "SECONDS_PER_DAY",
     "SECONDS_PER_HOUR",
+    "BlockMatrix",
     "TimeSeries",
     "day_index",
+    "group_block_matrices",
     "second_of_day",
     "utc_datetime",
 ]
@@ -200,3 +202,134 @@ class TimeSeries:
         if a.size < 2 or np.std(a) == 0 or np.std(b) == 0:
             return float("nan")
         return float(np.corrcoef(a, b)[0, 1])
+
+
+@dataclass(frozen=True)
+class BlockMatrix:
+    """Count series of many blocks stacked on one shared sample grid.
+
+    ``times`` is the shared ``(n,)`` grid and ``values`` a ``(B, n)`` matrix
+    whose row ``i`` is one block's series.  This is the unit of work of the
+    batched analysis plane: the funnel kernels run across all rows at once,
+    and every row operation is defined so that it is bit-identical to the
+    corresponding :class:`TimeSeries` method applied to :meth:`row` —
+    flattened ``bincount`` resampling accumulates each row's samples in the
+    same order as the per-row call, and segment max/min use exact,
+    order-free reductions.
+    """
+
+    times: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.times, dtype=np.float64)
+        values = np.asarray(self.values, dtype=np.float64)
+        if times.ndim != 1 or values.ndim != 2:
+            raise ValueError("times must be (n,) and values (B, n)")
+        if values.shape[1] != times.size:
+            raise ValueError(
+                f"values has {values.shape[1]} columns for {times.size} times"
+            )
+        if times.size > 1 and not np.all(np.diff(times) > 0):
+            raise ValueError("times must be strictly increasing")
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "values", values)
+
+    @classmethod
+    def from_series(cls, series: "list[TimeSeries] | tuple[TimeSeries, ...]") -> "BlockMatrix":
+        """Stack series that share one sample grid into a matrix."""
+        if not series:
+            raise ValueError("need at least one series to form a matrix")
+        times = series[0].times
+        for s in series[1:]:
+            if s.times.size != times.size or not np.array_equal(s.times, times):
+                raise ValueError("all series must share one sample grid")
+        return cls(times, np.stack([s.values for s in series]))
+
+    def __len__(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.times.size)
+
+    def row(self, i: int) -> TimeSeries:
+        """Block ``i``'s series as a :class:`TimeSeries`."""
+        return TimeSeries(self.times, self.values[i])
+
+    def take(self, rows) -> "BlockMatrix":
+        """Sub-matrix of the given row indices (same grid)."""
+        return BlockMatrix(self.times, self.values[np.asarray(rows, dtype=np.intp)])
+
+    def resample_mean(self, bin_seconds: float, *, min_count: int = 1) -> "BlockMatrix":
+        """Row-wise :meth:`TimeSeries.resample_mean` in one bincount pass.
+
+        The per-bin sums use one flattened ``bincount`` over
+        ``row * n_bins + bin``, which adds each row's samples in the same
+        left-to-right order as the per-row call — bit-identical results.
+        """
+        if self.times.size == 0:
+            return self
+        t0 = np.floor(self.times[0] / bin_seconds) * bin_seconds
+        bins = ((self.times - t0) / bin_seconds).astype(np.int64)
+        n_bins = int(bins[-1]) + 1
+        n_rows = self.values.shape[0]
+        valid = ~np.isnan(self.values)
+        flat = (np.arange(n_rows)[:, None] * n_bins + bins[None, :])[valid]
+        sums = np.bincount(
+            flat, weights=self.values[valid], minlength=n_rows * n_bins
+        ).reshape(n_rows, n_bins)
+        counts = np.bincount(flat, minlength=n_rows * n_bins).reshape(n_rows, n_bins)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            means = np.where(counts >= min_count, sums / np.maximum(counts, 1), np.nan)
+        centers = t0 + (np.arange(n_bins) + 0.5) * bin_seconds
+        return BlockMatrix(centers, means)
+
+    def interpolate_nan(self) -> "BlockMatrix":
+        """Row-wise :meth:`TimeSeries.interpolate_nan` (same ``np.interp`` calls)."""
+        values = self.values.copy()
+        for row in values:
+            nans = np.isnan(row)
+            if not nans.any() or nans.all():
+                continue
+            good = ~nans
+            row[nans] = np.interp(self.times[nans], self.times[good], row[good])
+        return BlockMatrix(self.times, values)
+
+    def daily_swings(self, epoch_offset: float = 0.0) -> tuple[np.ndarray, np.ndarray]:
+        """Per-day max - min for every row in one segmented reduction.
+
+        Returns ``(day_indices, swings)`` where ``swings`` is ``(B, n_days)``
+        with NaN marking days where a row has no finite samples (the per-row
+        :meth:`TimeSeries.daily_swing` drops those days).  ``np.fmax`` /
+        ``np.fmin`` skip NaNs and max/min are exact, so finite entries equal
+        the per-row results bit for bit.
+        """
+        days = day_index(self.times, epoch_offset)
+        if days.size == 0:
+            return days, np.empty((self.values.shape[0], 0), dtype=np.float64)
+        boundaries = np.flatnonzero(np.diff(days)) + 1
+        starts = np.concatenate(([0], boundaries))
+        highs = np.fmax.reduceat(self.values, starts, axis=1)
+        lows = np.fmin.reduceat(self.values, starts, axis=1)
+        return days[starts], highs - lows
+
+
+def group_block_matrices(
+    series: "list[TimeSeries] | tuple[TimeSeries, ...]",
+) -> list[tuple[tuple[int, ...], BlockMatrix]]:
+    """Group series sharing an identical sample grid into matrix batches.
+
+    Returns ``(indices, matrix)`` pairs in first-seen order; every input
+    series lands in exactly one group.  Campaign blocks share one grid in
+    practice, so this is normally a single group, but differing grids (e.g.
+    blocks with per-block default grids) batch separately and still get
+    per-row-identical results.
+    """
+    groups: dict[bytes, list[int]] = {}
+    for i, s in enumerate(series):
+        groups.setdefault(s.times.tobytes(), []).append(i)
+    return [
+        (tuple(idxs), BlockMatrix.from_series([series[i] for i in idxs]))
+        for idxs in groups.values()
+    ]

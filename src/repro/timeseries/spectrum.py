@@ -15,7 +15,13 @@ import numpy as np
 
 from .series import SECONDS_PER_DAY
 
-__all__ = ["Periodogram", "periodogram", "diurnal_energy_ratio"]
+__all__ = [
+    "Periodogram",
+    "diurnal_energy_ratio",
+    "diurnal_energy_ratio_batch",
+    "periodogram",
+    "periodogram_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -82,3 +88,53 @@ def diurnal_energy_ratio(
         pg.power_near(base * k, tolerance_bins=tolerance_bins) for k in range(1, harmonics + 1)
     )
     return min(diurnal / total, 1.0)
+
+
+def periodogram_batch(values: np.ndarray, sample_seconds: float) -> list[Periodogram]:
+    """One :func:`periodogram` per row of a ``(B, n)`` matrix.
+
+    All rows with any finite sample share a single 2-D ``rfft`` call; mean
+    removal stays per-row.  numpy transforms each row of a 2-D real FFT
+    independently with the same kernel as the 1-D call, so row ``i`` is
+    bit-identical to ``periodogram(values[i], sample_seconds)``.
+    """
+    y = np.asarray(values, dtype=np.float64)
+    if y.ndim != 2:
+        raise ValueError("values must be a (B, n) matrix")
+    n_rows, n = y.shape
+    good = np.isfinite(y)
+    out: list[Periodogram | None] = [None] * n_rows
+    live = np.flatnonzero(good.any(axis=1))
+    if live.size:
+        means = np.array([float(y[i][good[i]].mean()) for i in live])
+        centered = np.where(good[live], y[live], means[:, None]) - means[:, None]
+        power = np.abs(np.fft.rfft(centered, axis=1)) ** 2 / max(n, 1)
+        freqs = np.fft.rfftfreq(n, d=sample_seconds)
+        for k, i in enumerate(live):
+            out[i] = Periodogram(freqs, power[k])
+    return [
+        pg if pg is not None else Periodogram(np.array([0.0]), np.array([0.0]))
+        for pg in out
+    ]
+
+
+def diurnal_energy_ratio_batch(
+    values: np.ndarray,
+    sample_seconds: float,
+    *,
+    harmonics: int = 4,
+    tolerance_bins: int = 1,
+) -> np.ndarray:
+    """Row-wise :func:`diurnal_energy_ratio` over a ``(B, n)`` matrix."""
+    ratios = np.zeros(values.shape[0], dtype=np.float64)
+    base = 1.0 / SECONDS_PER_DAY
+    for i, pg in enumerate(periodogram_batch(values, sample_seconds)):
+        total = pg.total_power
+        if total <= 0:
+            continue
+        diurnal = sum(
+            pg.power_near(base * k, tolerance_bins=tolerance_bins)
+            for k in range(1, harmonics + 1)
+        )
+        ratios[i] = min(diurnal / total, 1.0)
+    return ratios

@@ -7,6 +7,12 @@ Official Statistics, 1990), which the paper adopts for trend extraction
 should be interpolated first (see :meth:`TimeSeries.interpolate_nan`).
 
 The decomposition satisfies ``y = trend + seasonal + residual`` exactly.
+
+Both entry points run the same batched core over a ``(B, n)`` matrix —
+:func:`stl_decompose` with ``B == 1`` and :func:`stl_decompose_batch` for a
+whole campaign batch — so per-block and batched decompositions are
+bit-identical by construction (every step is a per-row operation: strided
+subseries sums, batched LOESS, moving averages, row medians).
 """
 
 from __future__ import annotations
@@ -15,9 +21,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .loess import loess_smooth
+from .loess import loess_smooth_batch
 
-__all__ = ["STLResult", "stl_decompose"]
+__all__ = ["STLResult", "stl_decompose", "stl_decompose_batch"]
 
 
 @dataclass(frozen=True)
@@ -39,56 +45,80 @@ def _next_odd(value: float) -> int:
     return v if v % 2 == 1 else v + 1
 
 
-def _moving_average(x: np.ndarray, window: int) -> np.ndarray:
-    """Simple moving average; output is shorter by ``window - 1``."""
+def _moving_average_reference(x: np.ndarray, window: int) -> np.ndarray:
+    """Convolution moving average; the oracle for the cumsum fast path."""
     kernel = np.full(window, 1.0 / window)
     return np.convolve(x, kernel, mode="valid")
 
 
+def _moving_average(x: np.ndarray, window: int) -> np.ndarray:
+    """Simple moving average over the last axis; output shorter by ``window - 1``.
+
+    Cumsum-based: O(n) with no kernel allocation, batched over any leading
+    axes.  ``tests/test_kernels.py`` checks it against the convolve oracle
+    (:func:`_moving_average_reference`); the two differ only by prefix-sum
+    cancellation error, ~1e-12 relative for count-scale inputs.
+    """
+    c = np.cumsum(x, axis=-1, dtype=np.float64)
+    out = c[..., window - 1 :].copy()
+    out[..., 1:] -= c[..., :-window]
+    out /= window
+    return out
+
+
 def _low_pass(x: np.ndarray, period: int, n_l: int) -> np.ndarray:
-    """STL low-pass filter: MA(p), MA(p), MA(3), then LOESS(n_l, degree 1)."""
+    """STL low-pass filter: MA(p), MA(p), MA(3), then LOESS(n_l, degree 1).
+
+    ``x`` is the extended subseries matrix ``(B, n + 2 * period)``; the
+    result is ``(B, n)``.
+    """
     smoothed = _moving_average(_moving_average(_moving_average(x, period), period), 3)
-    grid = np.arange(smoothed.size, dtype=np.float64)
-    return loess_smooth(grid, smoothed, n_l, degree=1)
+    grid = np.arange(smoothed.shape[-1], dtype=np.float64)
+    return loess_smooth_batch(grid, smoothed, n_l, degree=1)
 
 
 def _smooth_cycle_subseries(
     detrended: np.ndarray,
     period: int,
     seasonal_smoother: int | None,
-    robustness_weights: np.ndarray,
+    robustness_weights: np.ndarray | None,
 ) -> np.ndarray:
     """Smooth each cycle subseries, extending one period at both ends.
 
-    Returns an array of length ``n + 2 * period`` (positions -period..n+period).
-    With ``seasonal_smoother=None`` the subseries are replaced by their
-    (robustness-weighted) means, i.e. a strictly periodic seasonal.
+    Operates row-wise on a ``(B, n)`` matrix and returns ``(B, n + 2 * period)``
+    (positions -period..n+period).  With ``seasonal_smoother=None`` the
+    subseries are replaced by their (robustness-weighted) means, i.e. a
+    strictly periodic seasonal.
     """
-    n = detrended.size
-    extended = np.empty(n + 2 * period, dtype=np.float64)
+    n_rows, n = detrended.shape
+    extended = np.empty((n_rows, n + 2 * period), dtype=np.float64)
     for phase in range(period):
-        idx = np.arange(phase, n, period)
-        sub = detrended[idx]
-        rw = robustness_weights[idx]
-        positions = np.arange(sub.size, dtype=np.float64)
+        sub = detrended[:, phase::period]
+        rw = (
+            None
+            if robustness_weights is None
+            else robustness_weights[:, phase::period]
+        )
+        m = sub.shape[1]
+        positions = np.arange(m, dtype=np.float64)
         # evaluate at -1 .. m so the low-pass filter has full support
-        xout = np.arange(-1, sub.size + 1, dtype=np.float64)
+        xout = np.arange(-1, m + 1, dtype=np.float64)
         if seasonal_smoother is None:
-            wsum = rw.sum()
-            mean = float(np.dot(rw, sub) / wsum) if wsum > 0 else float(sub.mean())
-            smoothed = np.full(xout.size, mean)
+            if rw is None:
+                rw = np.ones_like(sub)
+            wsum = rw.sum(axis=1)
+            weighted = (rw * sub).sum(axis=1) / np.where(wsum > 0, wsum, 1.0)
+            mean = np.where(wsum > 0, weighted, sub.mean(axis=1))
+            smoothed = np.broadcast_to(mean[:, None], (n_rows, m + 2))
         else:
-            smoothed = loess_smooth(
+            smoothed = loess_smooth_batch(
                 positions, sub, seasonal_smoother, degree=1, xout=xout, robustness_weights=rw
             )
-        extended[phase::period] = _place(smoothed, xout.size)
+        slot = extended[:, phase::period]
+        if smoothed.shape != slot.shape:
+            raise AssertionError("cycle subseries smoothing returned unexpected length")
+        slot[...] = smoothed
     return extended
-
-
-def _place(smoothed: np.ndarray, expect: int) -> np.ndarray:
-    if smoothed.size != expect:
-        raise AssertionError("cycle subseries smoothing returned unexpected length")
-    return smoothed
 
 
 def _bisquare(u: np.ndarray) -> np.ndarray:
@@ -131,47 +161,142 @@ def stl_decompose(
     y = np.asarray(values, dtype=np.float64)
     if y.ndim != 1:
         raise ValueError("values must be one-dimensional")
+    trend_smoother, low_pass_smoother = _validate(
+        y, period, seasonal_smoother, trend_smoother, low_pass_smoother
+    )
+    trend, seasonal, residual, rho = _stl_core(
+        y[None, :],
+        period,
+        seasonal_smoother,
+        trend_smoother,
+        low_pass_smoother,
+        inner_iterations,
+        outer_iterations,
+    )
+    return STLResult(
+        trend=trend[0], seasonal=seasonal[0], residual=residual[0],
+        robustness_weights=rho[0],
+    )
+
+
+def stl_decompose_batch(
+    values: np.ndarray,
+    period: int,
+    *,
+    seasonal_smoother: int | None = 7,
+    trend_smoother: int | None = None,
+    low_pass_smoother: int | None = None,
+    inner_iterations: int = 2,
+    outer_iterations: int = 1,
+) -> STLResult:
+    """Decompose every row of a ``(B, n)`` matrix via STL in one pass.
+
+    Returns an :class:`STLResult` whose components are ``(B, n)`` matrices.
+    Row ``i`` is bit-identical to ``stl_decompose(values[i], ...)`` because
+    both run the same batched core (see ``docs/algorithms.md`` §12); the
+    batched form amortises the hundreds of small LOESS/moving-average calls
+    per block into one sliding-window pass per stage.
+    """
+    y = np.asarray(values, dtype=np.float64)
+    if y.ndim != 2:
+        raise ValueError("values must be a (B, n) matrix")
+    if y.shape[0] == 0:
+        empty = np.empty_like(y)
+        return STLResult(
+            trend=empty, seasonal=empty.copy(), residual=empty.copy(),
+            robustness_weights=np.ones_like(y),
+        )
+    trend_smoother, low_pass_smoother = _validate(
+        y, period, seasonal_smoother, trend_smoother, low_pass_smoother
+    )
+    trend, seasonal, residual, rho = _stl_core(
+        y,
+        period,
+        seasonal_smoother,
+        trend_smoother,
+        low_pass_smoother,
+        inner_iterations,
+        outer_iterations,
+    )
+    return STLResult(
+        trend=trend, seasonal=seasonal, residual=residual, robustness_weights=rho
+    )
+
+
+def _validate(
+    y: np.ndarray,
+    period: int,
+    seasonal_smoother: int | None,
+    trend_smoother: int | None,
+    low_pass_smoother: int | None,
+) -> tuple[int, int]:
+    """Shared input checks; resolves the default smoother spans."""
     if not np.all(np.isfinite(y)):
         raise ValueError("values must be finite; interpolate NaNs first")
     if period < 2:
         raise ValueError("period must be at least 2")
-    n = y.size
+    n = y.shape[-1]
     if n < 2 * period:
         raise ValueError(f"need at least two periods of data ({2 * period}), got {n}")
     if seasonal_smoother is not None and seasonal_smoother < 3:
         raise ValueError("seasonal_smoother must be None or >= 3")
-
     if trend_smoother is None:
         ns_eff = seasonal_smoother if seasonal_smoother is not None else 10 * n + 1
         trend_smoother = _next_odd(1.5 * period / (1.0 - 1.5 / ns_eff))
     if low_pass_smoother is None:
         low_pass_smoother = _next_odd(period)
+    return trend_smoother, low_pass_smoother
 
+
+def _stl_core(
+    y: np.ndarray,
+    period: int,
+    seasonal_smoother: int | None,
+    trend_smoother: int,
+    low_pass_smoother: int,
+    inner_iterations: int,
+    outer_iterations: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The STL inner/outer loops over a ``(B, n)`` matrix.
+
+    Every step is a per-row operation (strided subseries reductions,
+    batched LOESS, moving averages, row medians), so the result of any row
+    is independent of the batch size.
+    """
+    n_rows, n = y.shape
     grid = np.arange(n, dtype=np.float64)
-    trend = np.zeros(n)
-    seasonal = np.zeros(n)
-    rho = np.ones(n)
+    trend = np.zeros((n_rows, n))
+    seasonal = np.zeros((n_rows, n))
+    rho = np.ones((n_rows, n))
+    # None = "still all ones": the LOESS fast path then skips the per-row
+    # weight algebra entirely (bit-identical — see _loess_uniform)
+    rho_arg: np.ndarray | None = None
 
     for outer in range(max(outer_iterations, 0) + 1):
         for _ in range(max(inner_iterations, 1)):
             detrended = y - trend
-            extended = _smooth_cycle_subseries(detrended, period, seasonal_smoother, rho)
+            extended = _smooth_cycle_subseries(
+                detrended, period, seasonal_smoother, rho_arg
+            )
             low = _low_pass(extended, period, low_pass_smoother)
-            seasonal = extended[period : period + n] - low
+            seasonal = extended[:, period : period + n] - low
             deseasonalized = y - seasonal
-            trend = loess_smooth(
-                grid, deseasonalized, trend_smoother, degree=1, robustness_weights=rho
+            trend = loess_smooth_batch(
+                grid,
+                deseasonalized,
+                trend_smoother,
+                degree=1,
+                robustness_weights=rho_arg,
             )
         if outer == max(outer_iterations, 0):
             break
         residual = y - trend - seasonal
-        scale = 6.0 * float(np.median(np.abs(residual)))
-        if scale <= 0:
-            rho = np.ones(n)
-        else:
-            rho = _bisquare(residual / scale)
-            # keep weights strictly positive so neighbourhoods never vanish
-            rho = np.maximum(rho, 1e-6)
+        scale = 6.0 * np.median(np.abs(residual), axis=1)
+        safe = np.where(scale > 0, scale, 1.0)
+        # keep weights strictly positive so neighbourhoods never vanish
+        weights = np.maximum(_bisquare(residual / safe[:, None]), 1e-6)
+        rho = np.where((scale > 0)[:, None], weights, 1.0)
+        rho_arg = rho
 
     residual = y - trend - seasonal
-    return STLResult(trend=trend, seasonal=seasonal, residual=residual, robustness_weights=rho)
+    return trend, seasonal, residual, rho

@@ -283,3 +283,342 @@ class TestReplyRateByAddress:
             mask = obs.addresses == a
             assert rates[int(a)] == float(obs.results[mask].mean())
         assert set(rates) == set(int(a) for a in np.unique(addrs))
+
+
+# ---------------------------------------------------------------------------
+# batched columnar kernels vs their per-block scalar paths
+# ---------------------------------------------------------------------------
+# The batched analysis plane promises *bit*-identity: every ``*_batch``
+# kernel routes the scalar call through the same 2-D core with B == 1,
+# and the batched primitives are batch-size invariant, so each row of a
+# batch must equal the scalar call on that row byte for byte.
+
+import pickle
+
+from repro.core.changes import ChangeDetector
+from repro.core.pipeline import BlockPipeline
+from repro.core.reconstruction import Reconstruction
+from repro.core.sensitivity import SensitivityClassifier
+from repro.core.stages import StageContext
+from repro.core.trend import TrendExtractor
+from repro.timeseries.detect import detect_cusum_batch, zscore_rows
+from repro.timeseries.loess import loess_smooth, loess_smooth_batch
+from repro.timeseries.series import (
+    SECONDS_PER_HOUR,
+    BlockMatrix,
+    TimeSeries,
+    group_block_matrices,
+)
+from repro.timeseries.spectrum import (
+    diurnal_energy_ratio,
+    diurnal_energy_ratio_batch,
+    periodogram,
+    periodogram_batch,
+)
+from repro.timeseries.stl import (
+    _moving_average,
+    _moving_average_reference,
+    stl_decompose,
+    stl_decompose_batch,
+)
+
+
+def _count_rows(rng, n_rows, n, period=24):
+    """Plausible diurnal count rows: level + daily cycle + noise + NaN gaps."""
+    t = np.arange(n)
+    rows = np.empty((n_rows, n))
+    for i in range(n_rows):
+        level = rng.uniform(5.0, 60.0)
+        amp = rng.uniform(0.0, 0.5 * level)
+        rows[i] = level + amp * np.sin(2 * np.pi * (t + rng.integers(period)) / period)
+        rows[i] += rng.normal(0.0, 0.05 * level, n)
+        if rng.random() < 0.5:  # reconstruction gaps
+            gaps = rng.choice(n, size=int(rng.integers(1, max(n // 20, 2))), replace=False)
+            rows[i, gaps] = np.nan
+    return rows
+
+
+class TestLoessBatchEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_rows_match_scalar(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(12, 300))
+        x = np.arange(n, dtype=float) * float(rng.uniform(0.5, 4.0))
+        values = rng.normal(0.0, 1.0, (int(rng.integers(1, 7)), n))
+        q = int(rng.integers(3, n + 4))  # sometimes >= n: scalar fallback
+        degree = int(rng.integers(0, 2))
+        batch = loess_smooth_batch(x, values, q, degree=degree)
+        for i, row in enumerate(values):
+            np.testing.assert_array_equal(
+                batch[i], loess_smooth(x, row, q, degree=degree)
+            )
+
+    def test_offset_xout_matches_scalar(self):
+        """The cycle-subseries grid (xout = -1..m) uses the fast path."""
+        rng = np.random.default_rng(1)
+        m = 30
+        x = np.arange(m, dtype=float)
+        xout = np.arange(-1.0, m + 1.0)
+        values = rng.normal(0.0, 1.0, (4, m))
+        weights = rng.uniform(0.2, 1.0, (4, m))
+        batch = loess_smooth_batch(x, values, 7, xout=xout, robustness_weights=weights)
+        for i, row in enumerate(values):
+            np.testing.assert_array_equal(
+                batch[i],
+                loess_smooth(x, row, 7, xout=xout, robustness_weights=weights[i]),
+            )
+
+    def test_single_row_is_scalar(self):
+        rng = np.random.default_rng(2)
+        x = np.arange(50, dtype=float)
+        y = rng.normal(0.0, 1.0, 50)
+        np.testing.assert_array_equal(
+            loess_smooth_batch(x, y[None, :], 9)[0], loess_smooth(x, y, 9)
+        )
+
+    def test_nonuniform_grid_falls_back_per_row(self):
+        rng = np.random.default_rng(3)
+        x = np.sort(rng.uniform(0.0, 100.0, 40))
+        values = rng.normal(0.0, 1.0, (3, 40))
+        batch = loess_smooth_batch(x, values, 7)
+        for i, row in enumerate(values):
+            np.testing.assert_array_equal(batch[i], loess_smooth(x, row, 7))
+
+
+class TestMovingAverageEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_cumsum_matches_convolve_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(30, 3000))
+        window = int(rng.integers(2, min(n, 200)))
+        x = rng.normal(50.0, 10.0, n)
+        np.testing.assert_allclose(
+            _moving_average(x, window),
+            _moving_average_reference(x, window),
+            rtol=1e-12,
+            atol=1e-9,
+        )
+
+    def test_batched_rows_match_rowwise(self):
+        rng = np.random.default_rng(9)
+        x = rng.normal(0.0, 1.0, (5, 400))
+        batch = _moving_average(x, 25)
+        for i, row in enumerate(x):
+            np.testing.assert_array_equal(batch[i], _moving_average(row, 25))
+
+
+class TestStlBatchEquivalence:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {},
+            {"outer_iterations": 0},
+            {"outer_iterations": 3},
+            {"seasonal_smoother": 11},
+            {"seasonal_smoother": 11, "outer_iterations": 2},
+        ],
+    )
+    def test_rows_match_scalar(self, kwargs):
+        rng = np.random.default_rng(4)
+        n = 24 * 21
+        t = np.arange(n)
+        values = np.stack(
+            [
+                10 + a * np.sin(2 * np.pi * t / 24) + rng.normal(0, 0.4, n)
+                for a in (0.5, 3.0, 8.0)
+            ]
+        )
+        batch = stl_decompose_batch(values, 24, **kwargs)
+        for i, row in enumerate(values):
+            ref = stl_decompose(row, 24, **kwargs)
+            np.testing.assert_array_equal(batch.trend[i], ref.trend)
+            np.testing.assert_array_equal(batch.seasonal[i], ref.seasonal)
+            np.testing.assert_array_equal(batch.residual[i], ref.residual)
+
+    def test_batch_width_invariance(self):
+        """Bit-identity must not depend on how many rows share the batch."""
+        rng = np.random.default_rng(5)
+        n = 24 * 14
+        values = rng.normal(20.0, 2.0, (6, n)) + np.sin(
+            2 * np.pi * np.arange(n) / 24
+        )
+        wide = stl_decompose_batch(values, 24)
+        narrow = stl_decompose_batch(values[2:4], 24)
+        np.testing.assert_array_equal(wide.trend[2:4], narrow.trend)
+
+    def test_empty_batch(self):
+        out = stl_decompose_batch(np.empty((0, 24 * 3)), 24)
+        assert out.trend.shape == (0, 24 * 3)
+
+
+class TestPeriodogramBatchEquivalence:
+    def test_rows_match_scalar_including_dead_rows(self):
+        rng = np.random.default_rng(6)
+        n = 24 * 10
+        values = _count_rows(rng, 5, n)
+        values[2] = np.nan  # dead row
+        values[3] = 7.0  # constant row
+        batch = periodogram_batch(values, SECONDS_PER_HOUR)
+        for i, row in enumerate(values):
+            ref = periodogram(row, SECONDS_PER_HOUR)
+            np.testing.assert_array_equal(batch[i].frequencies, ref.frequencies)
+            np.testing.assert_array_equal(batch[i].power, ref.power)
+
+    def test_single_row(self):
+        rng = np.random.default_rng(7)
+        row = _count_rows(rng, 1, 24 * 5)
+        batch = periodogram_batch(row, SECONDS_PER_HOUR)
+        ref = periodogram(row[0], SECONDS_PER_HOUR)
+        np.testing.assert_array_equal(batch[0].power, ref.power)
+
+    def test_diurnal_ratio_rows_match_scalar(self):
+        rng = np.random.default_rng(8)
+        values = _count_rows(rng, 4, 24 * 12)
+        batch = diurnal_energy_ratio_batch(values, SECONDS_PER_HOUR)
+        for i, row in enumerate(values):
+            assert batch[i] == diurnal_energy_ratio(row, SECONDS_PER_HOUR)
+
+
+class TestCusumBatchEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_rows_match_scalar(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(50, 1200))
+        values = np.cumsum(rng.normal(0.0, 0.4, (4, n)), axis=1)
+        values[1, :7] = np.nan  # leading NaNs
+        values[2, n // 2 : n // 2 + 9] = np.nan  # interior gap
+        values[3] = np.nan  # all-NaN row
+        batch = detect_cusum_batch(values, 1.0, 0.0055)
+        for i, row in enumerate(values):
+            ref = detect_cusum(row, 1.0, 0.0055)
+            assert batch[i].alarms == ref.alarms
+            np.testing.assert_array_equal(batch[i].gp, ref.gp)
+            np.testing.assert_array_equal(batch[i].gn, ref.gn)
+
+
+class TestZscoreRowsEquivalence:
+    def test_matches_trendresult_normalize(self):
+        rng = np.random.default_rng(11)
+        n = 24 * 14
+        times = np.arange(n) * SECONDS_PER_HOUR
+        values = _count_rows(rng, 5, n)
+        values = np.where(np.isnan(values), 0.0, values)  # trends are finite
+        batch = zscore_rows(values, min_abs_scale=0.5, min_rel_scale=0.02)
+        from repro.core.trend import TrendResult
+
+        for i, row in enumerate(values):
+            series = TimeSeries(times, row)
+            result = TrendResult(
+                hourly=series,
+                trend=series,
+                seasonal=series,
+                residual=series,
+                period=24,
+                method="stl",
+            )
+            np.testing.assert_array_equal(batch[i], result.normalize().values)
+
+    def test_nan_rows_pass_through(self):
+        values = np.array([[np.nan, np.nan, np.nan], [1.0, 2.0, 3.0]])
+        out = zscore_rows(values)
+        np.testing.assert_array_equal(out[0], values[0])
+
+
+class TestBlockMatrixEquivalence:
+    def _series(self, rng, n, step=660.0, t0=0.0):
+        times = t0 + np.arange(n) * step
+        return TimeSeries(times, _count_rows(rng, 1, n)[0])
+
+    def test_resample_interpolate_swings_match_rowwise(self):
+        rng = np.random.default_rng(12)
+        n = 131 * 24  # ~1.5 days of 11-minute rounds
+        series = [self._series(rng, n) for _ in range(5)]
+        matrix = BlockMatrix.from_series(series)
+        hourly = matrix.resample_mean(SECONDS_PER_HOUR).interpolate_nan()
+        for i, s in enumerate(series):
+            ref = s.resample_mean(SECONDS_PER_HOUR).interpolate_nan()
+            np.testing.assert_array_equal(hourly.times, ref.times)
+            np.testing.assert_array_equal(hourly.values[i], ref.values)
+        day_idx, swings = matrix.daily_swings()
+        for i, s in enumerate(series):
+            ref_days, ref_swings = s.daily_swing()
+            present = ~np.isnan(swings[i])
+            np.testing.assert_array_equal(day_idx[present], ref_days)
+            np.testing.assert_array_equal(swings[i][present], ref_swings)
+
+    def test_group_block_matrices_partitions_by_grid(self):
+        rng = np.random.default_rng(13)
+        a = [self._series(rng, 100) for _ in range(3)]
+        b = [self._series(rng, 80, t0=660.0) for _ in range(2)]
+        ragged = [a[0], b[0], a[1], b[1], a[2]]
+        groups = group_block_matrices(ragged)
+        assert [idx for idx, _ in groups] == [(0, 2, 4), (1, 3)]
+        for indices, matrix in groups:
+            for pos, i in enumerate(indices):
+                np.testing.assert_array_equal(matrix.values[pos], ragged[i].values)
+
+
+class TestAnalysisTailBatchEquivalence:
+    def _recon(self, rng, n):
+        series = TimeSeries(np.arange(n) * 660.0, _count_rows(rng, 1, n)[0])
+        return Reconstruction(
+            counts=series,
+            complete_time_s=660.0,
+            eb_size=64,
+            observed_addresses=np.arange(64, dtype=np.int16),
+        )
+
+    def test_classify_trend_detect_batch_match_scalar(self):
+        rng = np.random.default_rng(14)
+        n = 131 * 24 * 14  # two weeks of 11-minute rounds
+        recons = [self._recon(rng, n) for _ in range(4)]
+        matrix = BlockMatrix.from_series([r.counts for r in recons])
+
+        classifier = SensitivityClassifier()
+        batch_cls = classifier.classify_batch(matrix)
+        for i, r in enumerate(recons):
+            assert pickle.dumps(batch_cls[i]) == pickle.dumps(
+                classifier.classify(r.counts)
+            )
+
+        extractor = TrendExtractor()
+        batch_trends = extractor.extract_batch(matrix)
+        detector = ChangeDetector()
+        live = [i for i, t in enumerate(batch_trends) if t is not None]
+        assert live  # the synthetic rows are long enough to decompose
+        for i in live:
+            ref = extractor.extract(recons[i].counts)
+            assert pickle.dumps(batch_trends[i]) == pickle.dumps(ref)
+            batch_report = detector.detect_batch(
+                BlockMatrix(
+                    batch_trends[i].trend.times,
+                    zscore_rows(batch_trends[i].trend.values[None, :],
+                                min_abs_scale=0.5, min_rel_scale=0.02),
+                )
+            )[0]
+            assert pickle.dumps(batch_report) == pickle.dumps(
+                detector.detect(ref.normalized_trend)
+            )
+
+    def test_analyze_tail_batch_matches_per_block_over_ragged_grids(self):
+        rng = np.random.default_rng(15)
+        long_n = 131 * 24 * 14
+        short_n = 131 * 24 * 7
+        recons = [
+            self._recon(rng, long_n),
+            self._recon(rng, short_n),
+            self._recon(rng, long_n),
+            self._recon(rng, short_n),
+            self._recon(rng, long_n),
+        ]
+        pipeline = BlockPipeline(detect_on_all=True)
+        batch_ctxs = [StageContext() for _ in recons]
+        batch = pipeline.analyze_tail_batch(recons, batch_ctxs)
+        for i, recon in enumerate(recons):
+            ctx = StageContext()
+            ref = pipeline.analyze_tail(recon, ctx)
+            assert pickle.dumps(batch[i]) == pickle.dumps(ref), f"block {i}"
+            # same stage names, sizes, and skip reasons (wall times differ)
+            assert [
+                (r.name, r.n_in, r.n_out, r.skipped) for r in batch_ctxs[i].records
+            ] == [(r.name, r.n_in, r.n_out, r.skipped) for r in ctx.records]

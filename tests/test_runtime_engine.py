@@ -321,3 +321,127 @@ def _explode(x: int) -> int:
     if x == 5:
         raise ValueError("bad task")
     return x
+
+
+class TestBatchedDispatch:
+    """The batched columnar path must be invisible in every output."""
+
+    @pytest.fixture(scope="class")
+    def per_block_result(self, world200):
+        engine = CampaignEngine(SerialExecutor(), batched=False)
+        result = DatasetBuilder(world200).analyze(DATASET, engine=engine)
+        assert result.metrics.batched is None
+        return result
+
+    def test_batched_serial_matches_per_block(self, serial_result, per_block_result):
+        # serial_result runs through the batched default path
+        assert serial_result.metrics.batched is not None
+        assert list(serial_result.analyses) == list(per_block_result.analyses)
+        for cidr, analysis in serial_result.analyses.items():
+            assert pickle.dumps(analysis) == pickle.dumps(
+                per_block_result.analyses[cidr]
+            ), f"batched diverged from per-block for {cidr}"
+
+    def test_batched_parallel_matches_per_block(self, world200, per_block_result):
+        engine = CampaignEngine(ParallelExecutor(workers=2), batched=True)
+        result = DatasetBuilder(world200).analyze(DATASET, engine=engine)
+        assert engine.executor.fallback_reason is None
+        stats = result.metrics.batched
+        assert stats is not None and stats["chunks"] > 1  # genuinely fanned out
+        for cidr, analysis in result.analyses.items():
+            assert pickle.dumps(analysis) == pickle.dumps(
+                per_block_result.analyses[cidr]
+            ), f"parallel batched diverged from per-block for {cidr}"
+
+    def test_stage_records_match_per_block(self, serial_result, per_block_result):
+        batched = serial_result.metrics
+        scalar = per_block_result.metrics
+        for name in PIPELINE_STAGES:
+            b, s = batched.stages[name], scalar.stages[name]
+            assert (b.calls, b.n_in, b.n_out, b.skips) == (
+                s.calls,
+                s.n_in,
+                s.n_out,
+                s.skips,
+            ), name
+
+    def test_batched_stats_shape(self, serial_result):
+        stats = serial_result.metrics.batched
+        assert set(stats) == {"blocks", "groups", "chunks"}
+        # every non-firewalled block survives reconstruction; one shared
+        # grid -> one group; serial execution -> one chunk per group
+        assert stats["blocks"] > 0
+        assert stats["groups"] == stats["chunks"] == 1
+
+    def test_metrics_roundtrip_carries_batched(self, serial_result):
+        from repro.runtime import RunMetrics
+
+        metrics = serial_result.metrics
+        again = RunMetrics.from_dict(metrics.as_dict())
+        assert again.batched == metrics.batched
+        assert "batched:" in again.report()
+
+    def test_split_jobs_are_picklable(self, world200):
+        job = BlockAnalysisJob(
+            world=world200, ds=dataset(DATASET), pipeline=BlockPipeline()
+        )
+        recon_fn, tail_fn = job.batched_split()
+        # WorldModel has identity equality; compare via the stable token
+        assert stable_token(pickle.loads(pickle.dumps(recon_fn))) == stable_token(
+            recon_fn
+        )
+        assert pickle.loads(pickle.dumps(tail_fn)) == tail_fn
+
+    def test_firewalled_short_circuits_reconstruction(self, world200):
+        from repro.runtime import BlockReconstructJob
+
+        spec = next(s for s in world200.blocks if not s.responsive_by_design)
+        job = BlockReconstructJob(
+            world=world200, ds=dataset(DATASET), pipeline=BlockPipeline()
+        )
+        result = job(spec)
+        assert isinstance(result, BlockResult)
+        assert all(r.skipped for r in result.stages)
+
+    def test_cache_is_path_agnostic(self, world200, serial_result, tmp_path):
+        # a cache written by the per-block path must be served verbatim
+        # by the batched path (same keys, same bytes) — and hits must
+        # bypass both phases.
+        cache = AnalysisCache(tmp_path)
+        cold = CampaignEngine(SerialExecutor(), cache=cache, batched=False)
+        first = DatasetBuilder(world200).analyze(DATASET, engine=cold)
+        assert cold.history[-1].cache["misses"] == 200
+        warm = CampaignEngine(SerialExecutor(), cache=cache, batched=True)
+        second = DatasetBuilder(world200).analyze(DATASET, engine=warm)
+        assert warm.history[-1].cache["hits"] == 200
+        # hits bypass both phases: nothing was reconstructed or chunked
+        assert warm.history[-1].batched == {"blocks": 0, "groups": 0, "chunks": 0}
+        for cidr, analysis in second.analyses.items():
+            assert pickle.dumps(analysis) == pickle.dumps(first.analyses[cidr])
+
+    def test_env_var_controls_default(self, monkeypatch):
+        from repro.runtime.engine import _resolve_batched
+
+        monkeypatch.delenv("REPRO_BATCHED", raising=False)
+        assert _resolve_batched(None) is True
+        for raw, expected in [
+            ("1", True),
+            ("true", True),
+            ("ON", True),
+            ("0", False),
+            ("no", False),
+            ("Off", False),
+            ("", True),
+        ]:
+            monkeypatch.setenv("REPRO_BATCHED", raw)
+            assert _resolve_batched(None) is expected, raw
+        # explicit argument beats the environment
+        monkeypatch.setenv("REPRO_BATCHED", "0")
+        assert _resolve_batched(True) is True
+
+    def test_garbage_env_warns_and_defaults_on(self, monkeypatch):
+        from repro.runtime.engine import _resolve_batched
+
+        monkeypatch.setenv("REPRO_BATCHED", "sideways")
+        with pytest.warns(RuntimeWarning, match="REPRO_BATCHED"):
+            assert _resolve_batched(None) is True
