@@ -12,6 +12,8 @@
     repro --metrics fig3       # print per-stage engine instrumentation
     repro --trace out/ fig3    # also write spans.jsonl/metrics.jsonl/run.json
     repro report out/          # re-render a saved run from disk (no rerun)
+    repro lint                 # statically check repo invariants (REP001-REP005)
+    repro lint --format json   # machine-diffable report (CI artifact)
 """
 
 from __future__ import annotations
@@ -37,7 +39,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment",
         help=(
             "experiment name (see 'repro list'), 'list', 'all', 'export', "
-            "or 'report'"
+            "'report', or 'lint' (static invariant checks; "
+            "'repro lint --help' lists the rules)"
         ),
     )
     parser.add_argument(
@@ -190,6 +193,13 @@ def _dispatch(name: str, args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "lint":
+        # lint owns its flags (--format, --update-fingerprint, ...), so it
+        # gets the remaining argv before the experiment parser sees it
+        from .lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = _build_parser().parse_args(argv)
     name = args.experiment
 

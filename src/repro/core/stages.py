@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from ..obs.metrics import get_registry
+from ..obs.names import metric_name
 from ..obs.trace import get_tracer
 
 __all__ = ["PIPELINE_STAGES", "StageContext", "StageRecord"]
@@ -80,7 +81,7 @@ class StageContext:
             self.records.append(
                 StageRecord(name=name, wall_s=wall_s, n_in=n_in, n_out=active.n_out)
             )
-            get_registry().histogram(f"stage.{name}.wall_s").observe(wall_s)
+            get_registry().histogram(metric_name("stage", name, "wall_s")).observe(wall_s)
             if span_cm is not None:
                 span.set(n_in=n_in, n_out=active.n_out)
                 span_cm.__exit__(None, None, None)
@@ -88,7 +89,7 @@ class StageContext:
     def skip(self, name: str, reason: str, *, n_in: int = 0) -> None:
         """Record that a stage was not run and why."""
         self.records.append(StageRecord(name=name, n_in=n_in, skipped=reason))
-        get_registry().counter(f"stage.{name}.skips.{reason}").inc()
+        get_registry().counter(metric_name("stage", name, "skips", reason)).inc()
 
     def record_batched(
         self, name: str, *, wall_s: float, n_in: int = 0, n_out: int = 0, n_batch: int = 1
@@ -105,7 +106,7 @@ class StageContext:
         self.records.append(
             StageRecord(name=name, wall_s=wall_s, n_in=n_in, n_out=n_out)
         )
-        get_registry().histogram(f"stage.{name}.wall_s").observe(wall_s)
+        get_registry().histogram(metric_name("stage", name, "wall_s")).observe(wall_s)
         tracer = get_tracer()
         if tracer.enabled:
             tracer.emit(

@@ -11,6 +11,7 @@ above the typical day.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from datetime import date
 
@@ -79,7 +80,9 @@ def _examine(campaign: Campaign, cell: GridCell, country: str, sample: int = 25)
         for cidr, analysis in campaign.analyses.items()
         if campaign.world.blocks[_index_of(cidr)].geo.gridcell == cell
     ]
-    rng = np.random.default_rng(hash(country) & 0xFFFF)
+    # crc32, not hash(): the builtin is PYTHONHASHSEED-salted for strings,
+    # so the sampled block subset would differ between processes
+    rng = np.random.default_rng(zlib.crc32(country.encode()) & 0xFFFF)
     if len(cell_blocks) > sample:
         picked = rng.permutation(len(cell_blocks))[:sample]
         cell_blocks = [cell_blocks[i] for i in picked]

@@ -1,0 +1,48 @@
+"""``repro lint``: static verification of the repo's correctness invariants.
+
+The runtime test suite proves the pipeline's invariants *today*; this
+package proves they cannot silently rot *tomorrow*.  Five AST-based
+rules check, at review time, the properties the reproduction's
+credibility rests on:
+
+==========  ====================  =============================================
+rule ID     name                  invariant
+==========  ====================  =============================================
+``REP001``  oracle-pairing        every public ``*_reference``/``*_batch``
+                                  kernel twin is co-tested with its base in
+                                  ``tests/test_kernels.py``
+``REP002``  determinism           no global RNG, wall-clock, or process-salted
+                                  ``hash()`` calls in deterministic packages
+``REP003``  picklability          engine-dispatched ``*Job`` classes capture no
+                                  lambdas, nested functions, or open handles
+``REP004``  cache-key-            ``cache_key``/``cache_token`` cover every
+            completeness          public field; token-shaping code edits
+                                  require a ``CACHE_SCHEMA`` bump
+``REP005``  metrics-hygiene       instrument names are literals registered in
+                                  ``repro.obs.names`` (or built via
+                                  ``metric_name`` from a registered family)
+==========  ====================  =============================================
+
+Entry points: the ``repro lint`` CLI subcommand (:mod:`repro.lint.cli`),
+or :func:`run_lint` for tests and tooling.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline, default_baseline_path
+from .driver import LintContext, LintResult, build_context, find_root, run_lint
+from .registry import Rule, Violation, all_rules, get_rule
+
+__all__ = [
+    "Baseline",
+    "LintContext",
+    "LintResult",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "build_context",
+    "default_baseline_path",
+    "find_root",
+    "get_rule",
+    "run_lint",
+]

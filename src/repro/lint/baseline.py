@@ -1,0 +1,68 @@
+"""Checked-in lint baseline: known findings that do not fail the build.
+
+The baseline exists as a *mechanism*, not a dumping ground: the shipped
+``lint_baseline.json`` is empty and CI enforces that it stays empty for
+the current rules.  Its purpose is migration — a future rule can land
+together with a recorded baseline of legacy findings and burn them down
+over subsequent PRs without blocking unrelated work.
+
+Entries match on ``(rule, path, message)``; line numbers are excluded on
+purpose, so unrelated edits that shift a finding a few lines do not
+un-baseline it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .registry import Violation
+
+__all__ = ["Baseline", "BASELINE_VERSION", "default_baseline_path"]
+
+BASELINE_VERSION = 1
+
+
+def default_baseline_path(root: Path) -> Path:
+    return root / "lint_baseline.json"
+
+
+@dataclass
+class Baseline:
+    """Set of accepted findings loaded from / saved to JSON."""
+
+    entries: set[tuple[str, str, str]] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load ``path``; a missing file is an empty baseline."""
+        if not path.is_file():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+            raise ValueError(f"{path}: unsupported baseline format")
+        entries = {
+            (e["rule"], e["path"], e["message"]) for e in data.get("entries", [])
+        }
+        return cls(entries=entries)
+
+    @classmethod
+    def from_violations(cls, violations: list[Violation]) -> "Baseline":
+        return cls(entries={(v.rule, v.path, v.message) for v in violations})
+
+    def covers(self, violation: Violation) -> bool:
+        return (violation.rule, violation.path, violation.message) in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                {"rule": r, "path": p, "message": m}
+                for r, p, m in sorted(self.entries)
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

@@ -1,0 +1,79 @@
+"""Rule registry for ``repro lint``.
+
+A rule is a named invariant checker over the whole parsed tree (not a
+single file): several invariants — oracle pairing, cache-key
+fingerprints — are cross-file properties, so every rule receives the
+full :class:`~repro.lint.driver.LintContext` and returns the violations
+it found.  Rules self-register at import time via :func:`register`;
+:mod:`repro.lint.rules` imports each rule module so importing the
+package populates the registry.
+
+The registry is the single source of truth for rule IDs and their
+one-line summaries: ``repro lint --help`` and the JSON report both
+render from it, so documentation cannot drift from the code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .driver import LintContext
+
+__all__ = ["Rule", "Violation", "all_rules", "get_rule", "register"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule, a place, and what is wrong there."""
+
+    rule: str  # rule ID, e.g. "REP002"
+    path: str  # repo-relative posix path
+    line: int  # 1-based line number (0 = whole-file / cross-file finding)
+    message: str
+
+    def sort_key(self) -> tuple[str, int, str]:
+        return (self.path, self.line, self.rule)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered invariant checker."""
+
+    id: str  # "REP001"
+    name: str  # short kebab-case slug, e.g. "oracle-pairing"
+    summary: str  # one line for --help / reports
+    check: "Callable[[LintContext], list[Violation]]"
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register(
+    id: str, name: str, summary: str
+) -> "Callable[[Callable[[LintContext], list[Violation]]], Callable[[LintContext], list[Violation]]]":
+    """Decorator: register ``fn`` as the checker for rule ``id``."""
+
+    def deco(
+        fn: "Callable[[LintContext], list[Violation]]",
+    ) -> "Callable[[LintContext], list[Violation]]":
+        if id in _RULES:
+            raise ValueError(f"duplicate lint rule id {id!r}")
+        _RULES[id] = Rule(id=id, name=name, summary=summary, check=fn)
+        return fn
+
+    return deco
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, ordered by ID."""
+    from . import rules as _rules  # noqa: F401  (imports trigger registration)
+
+    return [_RULES[k] for k in sorted(_RULES)]
+
+
+def get_rule(id: str) -> Rule:
+    from . import rules as _rules  # noqa: F401
+
+    return _RULES[id]

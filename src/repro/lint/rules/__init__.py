@@ -1,0 +1,12 @@
+"""The shipped lint rules.
+
+Importing this package registers every rule with
+:mod:`repro.lint.registry`; a new rule is one module with a
+``@register(...)``-decorated checker plus an import line here.
+"""
+
+from __future__ import annotations
+
+from . import cachekey, determinism, metrics, oracle, picklability  # noqa: F401
+
+__all__ = ["cachekey", "determinism", "metrics", "oracle", "picklability"]

@@ -1,0 +1,158 @@
+"""Shared AST utilities for the lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "attribute_chain",
+    "class_field_names",
+    "collect_functions",
+    "import_aliases",
+    "iter_class_defs",
+    "referenced_names",
+    "string_set_literal",
+]
+
+
+def attribute_chain(node: ast.expr) -> list[str] | None:
+    """``a.b.c`` -> ``["a", "b", "c"]``; None when the base is not a Name.
+
+    Call bases (``foo().bar``), subscripts, etc. return None — the rules
+    only reason about plain dotted references.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def import_aliases(tree: ast.Module) -> tuple[dict[str, str], dict[str, tuple[str, str]]]:
+    """(module aliases, from-imports) of a module.
+
+    ``import numpy as np``          -> aliases["np"] = "numpy"
+    ``from datetime import date``   -> froms["date"] = ("datetime", "date")
+    ``from x import y as z``        -> froms["z"] = ("x", "y")
+    """
+    aliases: dict[str, str] = {}
+    froms: dict[str, tuple[str, str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                froms[alias.asname or alias.name] = (node.module, alias.name)
+    return aliases, froms
+
+
+def iter_class_defs(tree: ast.Module) -> Iterator[ast.ClassDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            yield node
+
+
+def collect_functions(
+    body: list[ast.stmt], context: str = ""
+) -> dict[str, list[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]]:
+    """Top-level and method defs: name -> [(class context or "", node)]."""
+    out: dict[str, list[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]] = {}
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out.setdefault(node.name, []).append((context, node))
+        elif isinstance(node, ast.ClassDef):
+            for name, entries in collect_functions(node.body, node.name).items():
+                out.setdefault(name, []).extend(entries)
+    return out
+
+
+def referenced_names(node: ast.AST) -> set[str]:
+    """Every Name id and Attribute attr appearing under ``node``."""
+    out: set[str] = set()
+    for n in ast.walk(node):
+        if isinstance(n, ast.Name):
+            out.add(n.id)
+        elif isinstance(n, ast.Attribute):
+            out.add(n.attr)
+    return out
+
+
+def class_field_names(cls: ast.ClassDef) -> tuple[list[str], bool]:
+    """(field names, is_dataclass) for a class definition.
+
+    Dataclasses contribute their annotated class-level fields; plain
+    classes contribute ``self.x = ...`` targets assigned in ``__init__``.
+    """
+    is_dataclass = any(
+        (isinstance(d, ast.Name) and d.id == "dataclass")
+        or (isinstance(d, ast.Attribute) and d.attr == "dataclass")
+        or (
+            isinstance(d, ast.Call)
+            and (
+                (isinstance(d.func, ast.Name) and d.func.id == "dataclass")
+                or (isinstance(d.func, ast.Attribute) and d.func.attr == "dataclass")
+            )
+        )
+        for d in cls.decorator_list
+    )
+    fields: list[str] = []
+    if is_dataclass:
+        for node in cls.body:
+            if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                if not _is_classvar(node.annotation):
+                    fields.append(node.target.id)
+        return fields, True
+    for node in cls.body:
+        if isinstance(node, ast.FunctionDef) and node.name == "__init__":
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Assign):
+                    for target in sub.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                            and target.attr not in fields
+                        ):
+                            fields.append(target.attr)
+                elif (
+                    isinstance(sub, ast.AnnAssign)
+                    and isinstance(sub.target, ast.Attribute)
+                    and isinstance(sub.target.value, ast.Name)
+                    and sub.target.value.id == "self"
+                    and sub.target.attr not in fields
+                ):
+                    fields.append(sub.target.attr)
+    return fields, False
+
+
+def _is_classvar(annotation: ast.expr) -> bool:
+    chain = attribute_chain(annotation.value if isinstance(annotation, ast.Subscript) else annotation)
+    return bool(chain) and chain[-1] == "ClassVar"
+
+
+def string_set_literal(tree: ast.Module, name: str) -> set[str]:
+    """The literal strings inside ``NAME = frozenset({...})`` / ``{...}``."""
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(isinstance(t, ast.Name) and t.id == name for t in targets):
+            continue
+        if isinstance(value, ast.Call) and value.args:
+            value = value.args[0]
+        if isinstance(value, (ast.Set, ast.List, ast.Tuple)):
+            return {
+                el.value
+                for el in value.elts
+                if isinstance(el, ast.Constant) and isinstance(el.value, str)
+            }
+    return set()

@@ -1,0 +1,134 @@
+"""REP002 — randomness and wall-clock must not leak into analysis results.
+
+The paper's pipeline promises bit-identical reconstruction regardless of
+execution strategy (§2.3–§2.6); that only holds while every random draw
+flows through an explicitly seeded ``numpy.random.Generator`` that is
+*passed in*, and no analysis code consults the wall clock or the
+process-salted ``hash()``.  Inside the deterministic packages
+(``core``, ``timeseries``, ``net``, ``datasets``, ``experiments``) this
+rule bans, at any nesting level:
+
+* calls on the legacy numpy global RNG (``np.random.seed``,
+  ``np.random.rand``, ...) — constructing seeded generators
+  (``default_rng``, ``SeedSequence``, bit generators) stays allowed;
+* calls on the stdlib ``random`` module (``random.random`` etc.;
+  ``random.Random(seed)`` instances are allowed);
+* ``time.time()`` / ``time.time_ns()`` (``perf_counter`` is fine — it
+  feeds telemetry, never results);
+* ``datetime.now()`` / ``utcnow()`` / ``today()`` and ``date.today()``;
+* the builtin ``hash()``, whose value for strings and bytes changes per
+  process (PYTHONHASHSEED) — use ``zlib.crc32`` or ``hashlib`` instead.
+
+Telemetry modules (``obs``) are deliberately out of scope: manifests
+record real wall-clock time.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..registry import Violation, register
+from .common import attribute_chain, import_aliases
+
+SCOPES = (
+    "src/repro/core/",
+    "src/repro/timeseries/",
+    "src/repro/net/",
+    "src/repro/datasets/",
+    "src/repro/experiments/",
+)
+
+#: numpy.random attributes that construct seeded, passable generators.
+ALLOWED_NP_RANDOM = frozenset(
+    {
+        "default_rng",
+        "SeedSequence",
+        "Generator",
+        "BitGenerator",
+        "MT19937",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+    }
+)
+
+_BANNED_DT = frozenset({"now", "utcnow", "today"})
+
+
+def _resolve(chain: list[str], aliases, froms) -> list[str]:
+    """Expand the chain head through the module's imports."""
+    head = chain[0]
+    if head in aliases:
+        return aliases[head].split(".") + chain[1:]
+    if head in froms:
+        module, attr = froms[head]
+        return module.split(".") + [attr] + chain[1:]
+    return chain
+
+
+def _check_call(node: ast.Call, aliases, froms) -> str | None:
+    """The violation message for one call, or None when it is fine."""
+    if isinstance(node.func, ast.Name) and node.func.id == "hash":
+        return (
+            "builtin hash() is process-salted for str/bytes and breaks "
+            "cross-run determinism; use zlib.crc32 or hashlib"
+        )
+    chain = attribute_chain(node.func)
+    if chain is None or len(chain) < 2:
+        return None
+    chain = _resolve(chain, aliases, froms)
+    if len(chain) >= 3 and chain[0] == "numpy" and chain[1] == "random":
+        if chain[2] not in ALLOWED_NP_RANDOM:
+            return (
+                f"legacy global-RNG call numpy.random.{chain[2]}(); draw from "
+                "a passed-in numpy.random.Generator instead"
+            )
+        return None
+    if chain[0] == "random" and len(chain) == 2 and chain[1] != "Random":
+        return (
+            f"stdlib random.{chain[1]}() uses hidden global state; pass a "
+            "seeded numpy Generator (or random.Random) instead"
+        )
+    if chain[0] == "time" and chain[-1] in ("time", "time_ns"):
+        return (
+            f"wall-clock time.{chain[-1]}() in deterministic code; results "
+            "must not depend on when they are computed"
+        )
+    if chain[0] == "datetime":
+        # datetime.datetime.now(), datetime.date.today(), or a
+        # from-imported datetime/date class: from datetime import datetime
+        if len(chain) >= 3 and chain[1] in ("datetime", "date") and chain[2] in _BANNED_DT:
+            return (
+                f"wall-clock {'.'.join(chain[1:3])}() in deterministic code; "
+                "take the timestamp as a parameter"
+            )
+        if len(chain) == 2 and chain[1] in _BANNED_DT:
+            return (
+                f"wall-clock datetime.{chain[1]}() in deterministic code; "
+                "take the timestamp as a parameter"
+            )
+    return None
+
+
+@register(
+    "REP002",
+    "determinism",
+    "no global RNG, wall-clock, or process-salted hash() calls in "
+    "core/timeseries/net/datasets/experiments",
+)
+def check(ctx) -> list[Violation]:
+    violations = []
+    for path, tree in ctx.iter_src():
+        if not any(path.startswith(scope) for scope in SCOPES):
+            continue
+        aliases, froms = import_aliases(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            message = _check_call(node, aliases, froms)
+            if message is not None:
+                violations.append(
+                    Violation(rule="REP002", path=path, line=node.lineno, message=message)
+                )
+    return violations

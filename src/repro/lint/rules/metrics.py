@@ -1,0 +1,199 @@
+"""REP005 — metric instrument names are registered literals, never f-strings.
+
+Dashboards, the run-manifest schema, and the CI smoke greps all key on
+exact instrument names; a name assembled ad hoc (``f"stage.{name}"``)
+is invisible to ``git grep`` and silently forks a metric family the
+moment the interpolation changes.  This rule pins every
+``counter``/``gauge``/``histogram`` call site in ``src/repro`` to the
+central registry in :mod:`repro.obs.names`:
+
+* a **literal** name must appear in ``METRICS``;
+* a **dynamic** name must be built with :func:`repro.obs.names.metric_name`
+  whose family argument is a literal listed in ``METRIC_FAMILIES``;
+* anything else — f-strings, concatenation, a plain variable — is a
+  violation at the call site.
+
+The registry itself is kept honest in both directions: a ``METRICS`` /
+``METRIC_FAMILIES`` entry with no remaining call site is flagged as a
+stale registration, so the name list never drifts from the code.
+
+``repro.obs.metrics`` (the instrument implementation, whose ``merge``
+replays snapshot names by variable) is the one module out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING
+
+from ..registry import Violation, register
+from .common import string_set_literal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..driver import LintContext
+
+NAMES_MODULE = "src/repro/obs/names.py"
+#: The registry implementation: replays snapshot names by variable.
+EXCLUDED = frozenset({"src/repro/obs/metrics.py", NAMES_MODULE})
+INSTRUMENTS = frozenset({"counter", "gauge", "histogram"})
+BUILDER = "metric_name"
+
+
+def _literal_lineno(tree: ast.Module, text: str) -> int:
+    """Line of the first string constant equal to ``text`` (0 if absent)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and node.value == text:
+            return node.lineno
+    return 0
+
+
+def _check_site(
+    call: ast.Call, path: str, metrics: set[str], families: set[str]
+) -> tuple[Violation | None, str | None, str | None]:
+    """(violation, used metric literal, used family literal) for one call."""
+    instrument = call.func.attr if isinstance(call.func, ast.Attribute) else "?"
+    if not call.args:
+        return None, None, None  # not an instrument-name call shape
+    name = call.args[0]
+    if isinstance(name, ast.Constant) and isinstance(name.value, str):
+        if name.value in metrics:
+            return None, name.value, None
+        return (
+            Violation(
+                rule="REP005",
+                path=path,
+                line=name.lineno,
+                message=(
+                    f"metric name {name.value!r} is not registered in "
+                    "repro.obs.names.METRICS; add it there (one line) or fix "
+                    "the typo"
+                ),
+            ),
+            None,
+            None,
+        )
+    if isinstance(name, ast.Call):
+        func = name.func
+        builder = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if builder == BUILDER:
+            if not name.args:
+                return None, None, None  # runtime ValueError; nothing static to pin
+            family = name.args[0]
+            if not (isinstance(family, ast.Constant) and isinstance(family.value, str)):
+                return (
+                    Violation(
+                        rule="REP005",
+                        path=path,
+                        line=family.lineno,
+                        message=(
+                            "metric_name family must be a literal string from "
+                            "repro.obs.names.METRIC_FAMILIES, not a computed "
+                            "value"
+                        ),
+                    ),
+                    None,
+                    None,
+                )
+            if family.value not in families:
+                return (
+                    Violation(
+                        rule="REP005",
+                        path=path,
+                        line=family.lineno,
+                        message=(
+                            f"metric family {family.value!r} is not registered "
+                            "in repro.obs.names.METRIC_FAMILIES"
+                        ),
+                    ),
+                    None,
+                    None,
+                )
+            return None, None, family.value
+    return (
+        Violation(
+            rule="REP005",
+            path=path,
+            line=name.lineno,
+            message=(
+                f"{instrument}() name must be a literal registered in "
+                "repro.obs.names.METRICS, or metric_name(<literal family>, "
+                "...); f-strings and computed names fork metric families "
+                "silently"
+            ),
+        ),
+        None,
+        None,
+    )
+
+
+@register(
+    "REP005",
+    "metrics-hygiene",
+    "counter/gauge/histogram names must be literals registered in "
+    "repro.obs.names (or metric_name() over a registered family)",
+)
+def check(ctx: "LintContext") -> list[Violation]:
+    names_tree = ctx.tree(NAMES_MODULE)
+    if names_tree is None:
+        return [
+            Violation(
+                rule="REP005",
+                path=NAMES_MODULE,
+                line=0,
+                message="central metric-name registry module is missing",
+            )
+        ]
+    metrics = string_set_literal(names_tree, "METRICS")
+    families = string_set_literal(names_tree, "METRIC_FAMILIES")
+
+    violations: list[Violation] = []
+    used_metrics: set[str] = set()
+    used_families: set[str] = set()
+    for path, tree in ctx.iter_src():
+        if path in EXCLUDED:
+            continue
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in INSTRUMENTS
+            ):
+                continue
+            violation, metric, family = _check_site(node, path, metrics, families)
+            if violation is not None:
+                violations.append(violation)
+            if metric is not None:
+                used_metrics.add(metric)
+            if family is not None:
+                used_families.add(family)
+
+    for stale in sorted(metrics - used_metrics):
+        violations.append(
+            Violation(
+                rule="REP005",
+                path=NAMES_MODULE,
+                line=_literal_lineno(names_tree, stale),
+                message=(
+                    f"registered metric {stale!r} has no call site left in "
+                    "src/repro; remove the stale registration"
+                ),
+            )
+        )
+    for stale in sorted(families - used_families):
+        violations.append(
+            Violation(
+                rule="REP005",
+                path=NAMES_MODULE,
+                line=_literal_lineno(names_tree, stale),
+                message=(
+                    f"registered metric family {stale!r} has no metric_name() "
+                    "call site left in src/repro; remove the stale "
+                    "registration"
+                ),
+            )
+        )
+    return violations

@@ -1,0 +1,111 @@
+"""REP001 — every vectorized kernel keeps its oracle, and a test pairs them.
+
+The repo's performance story (docs/algorithms.md §11–§12) rests on
+vectorized kernels proven bit-identical to retained scalar oracles.
+This rule makes that pairing structural:
+
+* any public ``<base>_reference`` / ``<base>_batch`` function or method
+  whose module also defines a public ``<base>`` twin forms an *oracle
+  pair*;
+* each pair must be referenced together inside at least one test in
+  ``tests/test_kernels.py`` — directly, or through one level of helper
+  (a module-level function or a method the test calls, e.g. the
+  ``both_observations`` twin-RNG harness).
+
+Deleting an oracle, its vectorized twin, or the equivalence test that
+binds them now fails lint instead of silently shrinking coverage.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..registry import Violation, register
+from .common import collect_functions, referenced_names
+
+KERNEL_TESTS = "tests/test_kernels.py"
+SUFFIXES = ("_reference", "_batch")
+
+
+def _module_pairs(tree: ast.Module) -> list[tuple[str, str, int]]:
+    """(base, twin, twin lineno) pairs defined by one module."""
+    functions = collect_functions(tree.body)
+    pairs = []
+    for name, entries in functions.items():
+        if name.startswith("_"):
+            continue
+        for suffix in SUFFIXES:
+            if not name.endswith(suffix):
+                continue
+            base = name[: -len(suffix)]
+            if not base or base.startswith("_") or base not in functions:
+                continue
+            pairs.append((base, name, entries[0][1].lineno))
+    return pairs
+
+
+def _test_reference_sets(tree: ast.Module) -> list[set[str]]:
+    """Identifier sets per test, with one level of helper resolution.
+
+    A test's set is the names it references directly, unioned with the
+    reference sets of any same-module function it names (helpers like
+    ``check`` or ``both_observations`` that exercise both twins).
+    """
+    helpers = {
+        name: referenced_names(entries[0][1])
+        for name, entries in collect_functions(tree.body).items()
+    }
+    out = []
+    for name, entries in collect_functions(tree.body).items():
+        if not name.startswith("test"):
+            continue
+        for _, node in entries:
+            names = set(referenced_names(node))
+            for referenced in list(names):
+                if referenced in helpers and not referenced.startswith("test"):
+                    names |= helpers[referenced]
+            out.append(names)
+    return out
+
+
+@register(
+    "REP001",
+    "oracle-pairing",
+    "public *_reference/*_batch kernels must be co-tested with their twin "
+    "in tests/test_kernels.py",
+)
+def check(ctx) -> list[Violation]:
+    kernel_tests = ctx.tree(KERNEL_TESTS)
+    test_sets = _test_reference_sets(kernel_tests) if kernel_tests is not None else []
+
+    violations = []
+    for path, tree in ctx.iter_src():
+        for base, twin, lineno in _module_pairs(tree):
+            if kernel_tests is None:
+                violations.append(
+                    Violation(
+                        rule="REP001",
+                        path=path,
+                        line=lineno,
+                        message=(
+                            f"oracle pair {base!r}/{twin!r} has no equivalence "
+                            f"test: {KERNEL_TESTS} is missing"
+                        ),
+                    )
+                )
+                continue
+            if not any(base in s and twin in s for s in test_sets):
+                violations.append(
+                    Violation(
+                        rule="REP001",
+                        path=path,
+                        line=lineno,
+                        message=(
+                            f"{twin!r} and its twin {base!r} are never referenced "
+                            f"together in any test in {KERNEL_TESTS}; add (or "
+                            "restore) an equivalence test, or remove the "
+                            "orphaned kernel"
+                        ),
+                    )
+                )
+    return violations

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..obs.metrics import get_registry
+from ..obs.names import metric_name
 from .loss import LossModel, NoLoss
 from .observations import ObservationSeries
 from .usage import BlockTruth
@@ -40,8 +41,8 @@ def count_probe_volume(kind: str, series: ObservationSeries) -> ObservationSerie
     telemetry layer tracks them per observer family.
     """
     registry = get_registry()
-    registry.counter(f"probes.sent.{kind}").inc(len(series))
-    registry.counter(f"probes.positive.{kind}").inc(int(np.sum(series.results)))
+    registry.counter(metric_name("probes.sent", kind)).inc(len(series))
+    registry.counter(metric_name("probes.positive", kind)).inc(int(np.sum(series.results)))
     return series
 
 

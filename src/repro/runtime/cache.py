@@ -121,7 +121,12 @@ class AnalysisCache:
     see the module docstring for the schema.
     """
 
-    def __init__(self, directory: str | os.PathLike | None = None, *, max_items: int = 1024) -> None:
+    def __init__(
+        self,
+        directory: "str | os.PathLike[str] | None" = None,
+        *,
+        max_items: int = 1024,
+    ) -> None:
         self.directory = Path(directory) if directory is not None else None
         self.max_items = max(int(max_items), 1)
         self._memory: OrderedDict[str, Any] = OrderedDict()

@@ -23,6 +23,7 @@ from typing import Any, Callable, Iterable
 from ..core.pipeline import BlockAnalysis
 from ..core.stages import PIPELINE_STAGES, StageRecord
 from ..obs.metrics import MetricsRegistry, get_registry, scoped_registry
+from ..obs.names import metric_name
 from ..obs.trace import NoopTracer, SpanRecord, Tracer, get_tracer, use_tracer
 from .cache import AnalysisCache, default_cache
 from .executors import Executor, ParallelExecutor, SerialExecutor
@@ -533,7 +534,7 @@ class CampaignEngine:
             merged.counter("engine.tasks").inc(len(results))
             merged.histogram("engine.run_wall_s").observe(wall_s)
             for key, n in metrics.funnel.items():
-                merged.counter(f"funnel.{key}").inc(n)
+                merged.counter(metric_name("funnel", key)).inc(n)
             metrics.meters = merged.snapshot()
             # the process-wide registry sees worker metrics too, so the
             # manifest's snapshot covers the whole run

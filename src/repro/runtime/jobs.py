@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..core.pipeline import BlockPipeline
 from ..core.reconstruction import Reconstruction
 from ..core.stages import PIPELINE_STAGES, StageContext, StageRecord
@@ -193,7 +195,7 @@ class BatchTailJob:
         )
 
 
-def _canonical_dtype_view(arr):
+def _canonical_dtype_view(arr: np.ndarray) -> np.ndarray:
     """Re-view an array onto the process-canonical dtype singleton.
 
     Unpickled arrays (a reconstruction shipped to a pool worker) carry a

@@ -25,8 +25,14 @@ than bit-for-bit.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
+
+#: (alarm indices, onset indices, directions, gp trace, gn trace) of one
+#: forward pass — the contract shared by the scalar and vectorized kernels.
+_CusumPassResult = tuple["list[int]", "list[int]", "list[int]", np.ndarray, np.ndarray]
+_CusumPass = Callable[[np.ndarray, float, float], _CusumPassResult]
 
 __all__ = [
     "CusumAlarm",
@@ -74,7 +80,9 @@ class CusumResult:
         return tuple(a for a in self.alarms if a.direction > 0)
 
 
-def _cusum_pass_reference(x: np.ndarray, threshold: float, drift: float):
+def _cusum_pass_reference(
+    x: np.ndarray, threshold: float, drift: float
+) -> _CusumPassResult:
     """Scalar forward CUSUM pass; the oracle the vectorized pass must match."""
     n = x.size
     gp = np.zeros(n)
@@ -106,7 +114,7 @@ def _cusum_pass_reference(x: np.ndarray, threshold: float, drift: float):
     return alarms, starts, directions, gp, gn
 
 
-def _cusum_pass(x: np.ndarray, threshold: float, drift: float):
+def _cusum_pass(x: np.ndarray, threshold: float, drift: float) -> _CusumPassResult:
     """Vectorized forward CUSUM pass (running-minimum identity).
 
     Each inter-alarm segment is computed in bulk: the clamped statistic
@@ -213,7 +221,7 @@ def _finish(
     threshold: float,
     drift: float,
     estimate_ending: bool,
-    cusum_pass,
+    cusum_pass: _CusumPass,
 ) -> CusumResult:
     """Forward/backward passes and alarm assembly for one filled series."""
     alarms, starts, directions, gp, gn = cusum_pass(x, threshold, drift)
@@ -241,7 +249,7 @@ def _detect(
     threshold: float,
     drift: float,
     estimate_ending: bool,
-    cusum_pass,
+    cusum_pass: _CusumPass,
 ) -> CusumResult:
     x = np.asarray(values, dtype=np.float64).copy()
     if x.ndim != 1:

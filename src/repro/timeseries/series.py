@@ -257,7 +257,7 @@ class BlockMatrix:
         """Block ``i``'s series as a :class:`TimeSeries`."""
         return TimeSeries(self.times, self.values[i])
 
-    def take(self, rows) -> "BlockMatrix":
+    def take(self, rows: "np.ndarray | list[int] | tuple[int, ...]") -> "BlockMatrix":
         """Sub-matrix of the given row indices (same grid)."""
         return BlockMatrix(self.times, self.values[np.asarray(rows, dtype=np.intp)])
 

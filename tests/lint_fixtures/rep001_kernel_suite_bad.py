@@ -1,0 +1,7 @@
+# REP001 violation: the suite exercises the vectorized kernel but the
+# oracle is never compared against it (the equivalence test was lost).
+from repro.kernels import frobnicate
+
+
+def test_frobnicate_runs():
+    frobnicate([1.0, 2.0])

@@ -1,0 +1,11 @@
+# REP001 clean: one test references both twins (via a helper, which the
+# rule resolves one level deep).
+from repro.kernels import frobnicate, frobnicate_reference
+
+
+def check_pair(x):
+    assert (frobnicate(x) == frobnicate_reference(x)).all()
+
+
+def test_frobnicate_matches_reference():
+    check_pair([1.0, 2.0])

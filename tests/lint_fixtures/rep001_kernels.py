@@ -1,0 +1,12 @@
+# REP001 fixture: a module defining an oracle pair (installed as a
+# src/repro module by the test; whether it violates depends on which
+# kernel-test fixture is installed next to it).
+import numpy as np
+
+
+def frobnicate(x):
+    return np.asarray(x) * 2.0
+
+
+def frobnicate_reference(x):
+    return np.asarray(x) * 2.0

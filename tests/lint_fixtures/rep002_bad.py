@@ -1,0 +1,27 @@
+# REP002 violations: hidden global state and wall-clock in deterministic code.
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def jitter(values):
+    noise = np.random.normal(0.0, 1.0, len(values))  # legacy global RNG
+    return values + noise
+
+
+def sample_one(options):
+    return random.choice(options)  # stdlib global RNG
+
+
+def stamp():
+    return time.time()  # wall clock
+
+
+def label():
+    return datetime.now().isoformat()  # wall clock
+
+
+def bucket(name):
+    return hash(name) % 16  # process-salted for strings

@@ -1,0 +1,24 @@
+# REP002 clean: randomness flows through a passed-in Generator, timing
+# through perf_counter (telemetry-only), hashing through crc32.
+import time
+import zlib
+
+import numpy as np
+
+
+def jitter(values, rng: np.random.Generator):
+    return values + rng.normal(0.0, 1.0, len(values))
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def elapsed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def bucket(name: str) -> int:
+    return zlib.crc32(name.encode()) % 16

@@ -1,0 +1,18 @@
+# REP003 violations: a dispatched job capturing unpicklable state.
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BrokenAnalysisJob:
+    scale: float = 1.0
+    transform = lambda x: x * 2  # lambda class attribute default
+    weights: object = field(default=lambda: [1.0])  # lambda field default
+
+
+class LeakyScanJob:
+    def __init__(self, path):
+        def helper(x):
+            return x + 1
+
+        self.helper = helper  # nested function attribute
+        self.log = open(path)  # open handle attribute

@@ -1,0 +1,15 @@
+# REP003 clean: frozen dataclass job with picklable fields only.
+from dataclasses import dataclass, field
+
+
+def double(x):
+    return x * 2
+
+
+@dataclass(frozen=True)
+class CleanAnalysisJob:
+    scale: float = 1.0
+    weights: list = field(default_factory=list)  # factory runs at init time
+
+    def __call__(self, x):
+        return double(x) * self.scale

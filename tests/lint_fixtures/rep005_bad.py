@@ -1,0 +1,11 @@
+# REP005 violations: an f-string instrument name, an unregistered
+# literal, and an unregistered metric_name family.
+from repro.obs.metrics import get_registry
+from repro.obs.names import metric_name
+
+
+def record(stage: str, n: int) -> None:
+    registry = get_registry()
+    registry.counter(f"stage.{stage}.done").inc(n)  # f-string name
+    registry.counter("engine.taks").inc()  # typo'd, unregistered
+    registry.histogram(metric_name("latency", stage)).observe(0.1)  # bad family

@@ -1,0 +1,11 @@
+# REP005 clean: registered literals, and dynamic tails through
+# metric_name over a registered family.
+from repro.obs.metrics import get_registry
+from repro.obs.names import metric_name
+
+
+def record(key: str, n: int) -> None:
+    registry = get_registry()
+    registry.counter("cache.hit").inc()
+    registry.counter("engine.tasks").inc(n)
+    registry.counter(metric_name("funnel", key)).inc(n)

@@ -1,0 +1,18 @@
+# REP005 fixture: the central instrument-name registry of the synthetic
+# tree (installed as src/repro/obs/names.py by the test).
+METRICS = frozenset(
+    {
+        "cache.hit",
+        "engine.tasks",
+    }
+)
+
+METRIC_FAMILIES = frozenset(
+    {
+        "funnel",
+    }
+)
+
+
+def metric_name(family, *parts):
+    return ".".join((family, *parts))

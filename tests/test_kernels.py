@@ -296,10 +296,12 @@ class TestReplyRateByAddress:
 import pickle
 
 from repro.core.changes import ChangeDetector
+from repro.core.diurnal import DiurnalTest
 from repro.core.pipeline import BlockPipeline
 from repro.core.reconstruction import Reconstruction
 from repro.core.sensitivity import SensitivityClassifier
 from repro.core.stages import StageContext
+from repro.core.swing import SwingTest
 from repro.core.trend import TrendExtractor
 from repro.timeseries.detect import detect_cusum_batch, zscore_rows
 from repro.timeseries.loess import loess_smooth, loess_smooth_batch
@@ -556,6 +558,35 @@ class TestBlockMatrixEquivalence:
         for indices, matrix in groups:
             for pos, i in enumerate(indices):
                 np.testing.assert_array_equal(matrix.values[pos], ragged[i].values)
+
+
+class TestVerdictBatchEquivalence:
+    """The classifier's two verdict kernels, each against its scalar twin."""
+
+    def _series(self, rng, n, step=660.0):
+        times = np.arange(n) * step
+        return TimeSeries(times, _count_rows(rng, 1, n)[0])
+
+    def test_diurnal_evaluate_batch_matches_scalar(self):
+        rng = np.random.default_rng(16)
+        long_n = 131 * 24 * 7
+        short_n = 131 * 24 * 2  # below min_days: the unjudgeable early-out
+        series = [self._series(rng, long_n) for _ in range(4)]
+        series.append(self._series(rng, short_n))
+        diurnal = DiurnalTest()
+        for group in (series[:4], series[4:]):
+            batch = diurnal.evaluate_batch(BlockMatrix.from_series(group))
+            for verdict, s in zip(batch, group):
+                assert pickle.dumps(verdict) == pickle.dumps(diurnal.evaluate(s))
+
+    def test_swing_evaluate_batch_matches_scalar(self):
+        rng = np.random.default_rng(17)
+        n = 131 * 24 * 7
+        series = [self._series(rng, n) for _ in range(5)]
+        swing = SwingTest()
+        batch = swing.evaluate_batch(BlockMatrix.from_series(series))
+        for profile, s in zip(batch, series):
+            assert pickle.dumps(profile) == pickle.dumps(swing.evaluate(s))
 
 
 class TestAnalysisTailBatchEquivalence:
