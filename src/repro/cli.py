@@ -11,9 +11,13 @@
     repro --cache .cache fig3  # reuse per-block results across invocations
     repro --metrics fig3       # print per-stage engine instrumentation
     repro --trace out/ fig3    # also write spans.jsonl/metrics.jsonl/run.json
+    repro --progress out/ fig3 # append live heartbeats to out/progress.jsonl
     repro report out/          # re-render a saved run from disk (no rerun)
     repro lint                 # statically check repo invariants (REP001-REP005)
     repro lint --format json   # machine-diffable report (CI artifact)
+    repro profile fig3         # run one experiment under cProfile
+    repro bench                # append a record to the BENCH_kernels.json trajectory
+    repro bench --check        # fail on a regression against that trajectory
 """
 
 from __future__ import annotations
@@ -39,8 +43,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment",
         help=(
             "experiment name (see 'repro list'), 'list', 'all', 'export', "
-            "'report', or 'lint' (static invariant checks; "
-            "'repro lint --help' lists the rules)"
+            "'report', 'lint' (static invariant checks), 'profile' "
+            "(cProfile one experiment), or 'bench' (kernel/engine "
+            "benchmark trajectory); each subcommand has its own --help"
         ),
     )
     parser.add_argument(
@@ -94,6 +99,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "record hierarchical spans and write DIR/spans.jsonl, "
             "DIR/metrics.jsonl and the DIR/run.json manifest after the run"
+        ),
+    )
+    parser.add_argument(
+        "--progress",
+        default=None,
+        metavar="DIR",
+        help=(
+            "append live heartbeat records (blocks done, blocks/sec, ETA, "
+            "RSS, cache hit-rate) to DIR/progress.jsonl while campaigns "
+            "run (sets REPRO_PROGRESS; REPRO_PROGRESS_INTERVAL rate-limits "
+            "mid-run ticks, default 2s)"
         ),
     )
     return parser
@@ -200,6 +216,14 @@ def main(argv: list[str] | None = None) -> int:
         from .lint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "profile":
+        from .obs.profiling import main as profile_main
+
+        return profile_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from .bench import main as bench_main
+
+        return bench_main(argv[1:])
     args = _build_parser().parse_args(argv)
     name = args.experiment
 
@@ -211,6 +235,16 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_CACHE"] = args.cache
     if args.batched is not None:
         os.environ["REPRO_BATCHED"] = "1" if args.batched else "0"
+    if args.progress is not None:
+        os.environ["REPRO_PROGRESS"] = args.progress
+    if os.environ.get("REPRO_PROGRESS"):
+        from .obs.progress import default_progress, set_progress
+
+        set_progress(default_progress())
+
+    from .obs.resources import maybe_start_tracemalloc
+
+    maybe_start_tracemalloc()  # REPRO_TRACEMALLOC=1 adds allocator deltas
 
     if name == "list":
         print("available experiments:")

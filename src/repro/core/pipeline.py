@@ -20,12 +20,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import NamedTuple, Sequence
 
 import numpy as np
 
 from ..net.observations import ObservationSeries
 from ..net.usage import ROUND_SECONDS
+from ..obs.resources import peak_rss_bytes, thread_cpu_seconds
 from ..timeseries.detect import zscore_rows
 from ..timeseries.series import BlockMatrix, TimeSeries, group_block_matrices
 from .changes import ChangeDetector, ChangeReport
@@ -38,6 +39,36 @@ from .stages import StageContext
 from .trend import MIN_ABS_SCALE, MIN_REL_SCALE, TrendExtractor, TrendResult
 
 __all__ = ["BlockAnalysis", "BlockPipeline"]
+
+
+class _StageShares(NamedTuple):
+    """One block's even share of a batched stage's measured cost."""
+
+    wall_s: float
+    cpu_s: float
+    rss_delta: int
+
+
+class _BatchMeter:
+    """Wall/CPU/RSS-high-water cost of one batched stage, split per block.
+
+    The batched path attributes an even ``1/n`` share of the batch's
+    cost to every member block so aggregated stage totals stay shaped
+    like the per-block path's (where each block is measured directly).
+    """
+
+    __slots__ = ("_rss", "_cpu", "_wall")
+
+    def __init__(self) -> None:
+        self._rss = peak_rss_bytes()
+        self._cpu = thread_cpu_seconds()
+        self._wall = time.perf_counter()
+
+    def shares(self, n: int) -> _StageShares:
+        wall = time.perf_counter() - self._wall
+        cpu = thread_cpu_seconds() - self._cpu
+        rss = max(peak_rss_bytes() - self._rss, 0)
+        return _StageShares(wall_s=wall / n, cpu_s=cpu / n, rss_delta=rss // n)
 
 
 @dataclass(frozen=True)
@@ -259,16 +290,18 @@ class BlockPipeline:
         analyses: list[BlockAnalysis | None] = [None] * len(recons)
         for indices, matrix in group_block_matrices([r.counts for r in recons]):
             n_batch = len(indices)
-            started = time.perf_counter()
+            meter = _BatchMeter()
             classifications = self.classifier.classify_batch(matrix)
-            share = (time.perf_counter() - started) / n_batch
+            share = meter.shares(n_batch)
             for pos, i in enumerate(indices):
                 ctxs[i].record_batched(
                     "classify",
-                    wall_s=share,
+                    wall_s=share.wall_s,
                     n_in=matrix.n_samples,
                     n_out=int(classifications[pos].is_change_sensitive),
                     n_batch=n_batch,
+                    cpu_s=share.cpu_s,
+                    rss_delta=share.rss_delta,
                 )
 
             selected = [
@@ -288,17 +321,19 @@ class BlockPipeline:
                 )
                 ctxs[indices[pos]].skip("trend", reason, n_in=matrix.n_samples)
             if selected:
-                started = time.perf_counter()
+                meter = _BatchMeter()
                 extracted = self.trend_extractor.extract_batch(matrix.take(selected))
-                share = (time.perf_counter() - started) / len(selected)
+                share = meter.shares(len(selected))
                 for k, pos in enumerate(selected):
                     trends[pos] = extracted[k]
                     ctxs[indices[pos]].record_batched(
                         "trend",
-                        wall_s=share,
+                        wall_s=share.wall_s,
                         n_in=matrix.n_samples,
                         n_out=len(extracted[k].trend) if extracted[k] is not None else 0,
                         n_batch=len(selected),
+                        cpu_s=share.cpu_s,
+                        rss_delta=share.rss_delta,
                     )
 
             with_trend = [pos for pos in selected if trends[pos] is not None]
@@ -307,7 +342,7 @@ class BlockPipeline:
                 if trends[pos] is None:
                     ctxs[indices[pos]].skip("detect", "no-trend")
             if with_trend:
-                started = time.perf_counter()
+                meter = _BatchMeter()
                 stacked = np.stack([trends[pos].trend.values for pos in with_trend])
                 normalized = BlockMatrix(
                     trends[with_trend[0]].trend.times,
@@ -332,15 +367,17 @@ class BlockPipeline:
                         )
                         for pos, report in zip(with_trend, reports)
                     ]
-                share = (time.perf_counter() - started) / len(with_trend)
+                share = meter.shares(len(with_trend))
                 for k, pos in enumerate(with_trend):
                     changes[pos] = reports[k]
                     ctxs[indices[pos]].record_batched(
                         "detect",
-                        wall_s=share,
+                        wall_s=share.wall_s,
                         n_in=len(reports[k].normalized_trend),
                         n_out=len(reports[k].events),
                         n_batch=len(with_trend),
+                        cpu_s=share.cpu_s,
+                        rss_delta=share.rss_delta,
                     )
 
             for pos, i in enumerate(indices):

@@ -20,6 +20,7 @@ from typing import Iterator
 
 from ..obs.metrics import get_registry
 from ..obs.names import metric_name
+from ..obs.resources import peak_rss_bytes, thread_cpu_seconds
 from ..obs.trace import get_tracer
 
 __all__ = ["PIPELINE_STAGES", "StageContext", "StageRecord"]
@@ -32,13 +33,22 @@ PIPELINE_STAGES = ("repair", "combine", "reconstruct", "classify", "trend", "det
 
 @dataclass(frozen=True)
 class StageRecord:
-    """One stage invocation: how long it took and what flowed through it."""
+    """One stage invocation: how long it took and what flowed through it.
+
+    ``cpu_s`` is thread CPU time consumed by the stage body and
+    ``rss_delta`` the rise in the process RSS high-water mark (bytes)
+    across it — both zero for skipped stages, and both excluded from
+    byte-identity comparisons (like ``wall_s``, they are measurements,
+    not results).
+    """
 
     name: str
     wall_s: float = 0.0
     n_in: int = 0
     n_out: int = 0
     skipped: str | None = None  # reason the stage did not run, None = it ran
+    cpu_s: float = 0.0
+    rss_delta: int = 0
 
     @property
     def ran(self) -> bool:
@@ -73,13 +83,24 @@ class StageContext:
         tracer = get_tracer()
         span_cm = tracer.span(f"stage:{name}") if tracer.enabled else None
         span = span_cm.__enter__() if span_cm is not None else None
+        rss_before = peak_rss_bytes()
+        cpu_start = thread_cpu_seconds()
         start = time.perf_counter()
         try:
             yield active
         finally:
             wall_s = time.perf_counter() - start
+            cpu_s = thread_cpu_seconds() - cpu_start
+            rss_delta = max(peak_rss_bytes() - rss_before, 0)
             self.records.append(
-                StageRecord(name=name, wall_s=wall_s, n_in=n_in, n_out=active.n_out)
+                StageRecord(
+                    name=name,
+                    wall_s=wall_s,
+                    n_in=n_in,
+                    n_out=active.n_out,
+                    cpu_s=cpu_s,
+                    rss_delta=rss_delta,
+                )
             )
             get_registry().histogram(metric_name("stage", name, "wall_s")).observe(wall_s)
             if span_cm is not None:
@@ -92,19 +113,35 @@ class StageContext:
         get_registry().counter(metric_name("stage", name, "skips", reason)).inc()
 
     def record_batched(
-        self, name: str, *, wall_s: float, n_in: int = 0, n_out: int = 0, n_batch: int = 1
+        self,
+        name: str,
+        *,
+        wall_s: float,
+        n_in: int = 0,
+        n_out: int = 0,
+        n_batch: int = 1,
+        cpu_s: float = 0.0,
+        rss_delta: int = 0,
     ) -> None:
         """Record one block's share of a batched stage execution.
 
         ``wall_s`` is the block's slice of the batch wall time (the batched
-        pipeline attributes ``batch_wall / n_batch`` to each member), while
-        ``n_in``/``n_out`` are the block's true sizes.  The record feeds the
-        same latency histogram as :meth:`stage`, and — when tracing — emits
-        a synthetic ``stage:<name>`` span under the enclosing span so
-        per-block span accounting stays intact.
+        pipeline attributes ``batch_wall / n_batch`` to each member), and
+        ``cpu_s``/``rss_delta`` the analogous CPU and RSS high-water
+        shares, while ``n_in``/``n_out`` are the block's true sizes.  The
+        record feeds the same latency histogram as :meth:`stage`, and —
+        when tracing — emits a synthetic ``stage:<name>`` span under the
+        enclosing span so per-block span accounting stays intact.
         """
         self.records.append(
-            StageRecord(name=name, wall_s=wall_s, n_in=n_in, n_out=n_out)
+            StageRecord(
+                name=name,
+                wall_s=wall_s,
+                n_in=n_in,
+                n_out=n_out,
+                cpu_s=cpu_s,
+                rss_delta=rss_delta,
+            )
         )
         get_registry().histogram(metric_name("stage", name, "wall_s")).observe(wall_s)
         tracer = get_tracer()
@@ -144,6 +181,8 @@ class StageContext:
             if d is None:
                 out[r.name] = {
                     "wall_s": r.wall_s,
+                    "cpu_s": r.cpu_s,
+                    "rss_delta": r.rss_delta,
                     "n_in": r.n_in,
                     "n_out": r.n_out,
                     "skipped": r.skipped,
@@ -151,6 +190,8 @@ class StageContext:
                 }
             else:
                 d["wall_s"] += r.wall_s
+                d["cpu_s"] += r.cpu_s
+                d["rss_delta"] += r.rss_delta
                 d["n_in"] = r.n_in
                 d["n_out"] = r.n_out
                 d["skipped"] = r.skipped

@@ -35,7 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover
 NAMES_MODULE = "src/repro/obs/names.py"
 #: The registry implementation: replays snapshot names by variable.
 EXCLUDED = frozenset({"src/repro/obs/metrics.py", NAMES_MODULE})
-INSTRUMENTS = frozenset({"counter", "gauge", "histogram"})
+INSTRUMENTS = frozenset({"counter", "gauge", "max_gauge", "histogram"})
 BUILDER = "metric_name"
 
 

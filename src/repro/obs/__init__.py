@@ -20,10 +20,29 @@ from .metrics import (
     Counter,
     Gauge,
     Histogram,
+    MaxGauge,
     MetricsRegistry,
     get_registry,
     scoped_registry,
     set_registry,
+)
+from .progress import (
+    NoopProgress,
+    ProgressEmitter,
+    default_progress,
+    get_progress,
+    set_progress,
+    use_progress,
+)
+from .resources import (
+    ResourceSnapshot,
+    ResourceTracker,
+    cpu_seconds,
+    format_bytes,
+    maybe_start_tracemalloc,
+    peak_rss_bytes,
+    rss_bytes,
+    thread_cpu_seconds,
 )
 from .trace import (
     NOOP,
@@ -42,21 +61,36 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "Gauge",
     "Histogram",
+    "MaxGauge",
     "MetricsRegistry",
     "NOOP",
+    "NoopProgress",
     "NoopTracer",
+    "ProgressEmitter",
+    "ResourceSnapshot",
+    "ResourceTracker",
     "SavedRun",
     "SpanRecord",
     "Tracer",
     "annotate",
+    "cpu_seconds",
+    "default_progress",
+    "format_bytes",
+    "get_progress",
     "get_registry",
     "get_tracer",
     "git_describe",
     "load_run",
+    "maybe_start_tracemalloc",
+    "peak_rss_bytes",
     "render_report",
+    "rss_bytes",
     "scoped_registry",
+    "set_progress",
     "set_registry",
     "set_tracer",
+    "thread_cpu_seconds",
+    "use_progress",
     "use_tracer",
     "write_run",
 ]

@@ -25,6 +25,7 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "Gauge",
     "Histogram",
+    "MaxGauge",
     "MetricsRegistry",
     "get_registry",
     "scoped_registry",
@@ -66,6 +67,26 @@ class Gauge:
 
     def as_dict(self) -> dict[str, Any]:
         return {"type": "gauge", "value": self.value}
+
+
+class MaxGauge:
+    """A high-water mark: ``set`` keeps the maximum ever seen.
+
+    Unlike :class:`Gauge` (last write wins), merging snapshots takes the
+    max of the two values — the right semantics for RSS high-water marks
+    shipped back from any number of pool workers.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = max(self.value, float(value))
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"type": "max", "value": self.value}
 
 
 class Histogram:
@@ -122,7 +143,7 @@ class MetricsRegistry:
     """Named instruments with snapshot / reset / merge semantics."""
 
     def __init__(self) -> None:
-        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._metrics: dict[str, Counter | Gauge | MaxGauge | Histogram] = {}
 
     def _get(self, name: str, cls: type, factory) -> Any:
         metric = self._metrics.get(name)
@@ -140,6 +161,9 @@ class MetricsRegistry:
 
     def gauge(self, name: str) -> Gauge:
         return self._get(name, Gauge, Gauge)
+
+    def max_gauge(self, name: str) -> MaxGauge:
+        return self._get(name, MaxGauge, MaxGauge)
 
     def histogram(
         self, name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
@@ -172,6 +196,8 @@ class MetricsRegistry:
                 self.counter(name).inc(data["value"])
             elif kind == "gauge":
                 self.gauge(name).set(data["value"])
+            elif kind == "max":
+                self.max_gauge(name).set(data["value"])
             elif kind == "histogram":
                 hist = self.histogram(name, buckets=data["bounds"])
                 if list(hist.bounds) != [float(b) for b in data["bounds"]]:

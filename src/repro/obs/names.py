@@ -25,6 +25,9 @@ METRICS = frozenset(
     {
         "blocks.analyzed",
         "blocks.firewalled",
+        "cache.bytes.at_rest",
+        "cache.bytes.hit",
+        "cache.bytes.store",
         "cache.hit",
         "cache.miss",
         "cache.store",
@@ -35,7 +38,13 @@ METRICS = frozenset(
         "engine.tasks",
         "executor.chunk_size",
         "executor.fallbacks",
+        "executor.payload.result_bytes",
+        "executor.payload.task_bytes",
         "executor.pool_workers",
+        "resources.cpu_s",
+        "resources.rss_peak_bytes",
+        "resources.worker.cpu_s",
+        "resources.worker.rss_peak_bytes",
     }
 )
 

@@ -1,0 +1,189 @@
+"""Deterministic cProfile wrapping for campaigns (``repro profile``).
+
+Wraps any callable in :mod:`cProfile` and renders two artifacts whose
+*shape* is deterministic (timings vary run to run, ordering and labels
+do not):
+
+``top-N table``
+    Rows sorted by cumulative time (ties broken by label), function
+    labels as ``basename.py:name`` — no absolute paths, so output from
+    two machines diffs cleanly.
+``collapsed stacks``
+    ``root;child;leaf <count>`` lines (flamegraph.pl / speedscope
+    format).  pstats stores a call *graph*, not stack samples, so the
+    stacks are reconstructed by walking callers->callees from the
+    roots and attributing each function's cumulative time down the
+    tree proportionally; recursion is cut by skipping a child already
+    on the stack.  Counts are integer microseconds.
+
+The ``repro profile <experiment>`` subcommand (see :mod:`repro.cli`)
+runs a registered experiment under this wrapper and writes
+``profile.pstats`` (for ``snakeviz``/``pstats`` digging) plus
+``profile.collapsed`` next to the printed table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import os
+import pstats
+import sys
+from pathlib import Path
+from typing import Any, Callable
+
+__all__ = [
+    "collapsed_stacks",
+    "profile_call",
+    "top_table",
+    "write_profile",
+]
+
+_MAX_DEPTH = 48
+
+
+def profile_call(fn: Callable[[], Any]) -> tuple[Any, pstats.Stats]:
+    """Run ``fn()`` under cProfile; returns (result, stats)."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+    return result, pstats.Stats(profiler)
+
+
+def _label(func: tuple[str, int, str]) -> str:
+    """Stable, machine-independent label for a pstats function key."""
+    filename, lineno, name = func
+    if filename == "~":  # built-ins have no file
+        return name
+    return f"{os.path.basename(filename)}:{name}"
+
+
+def top_table(stats: pstats.Stats, n: int = 30) -> str:
+    """Aligned top-``n`` functions by cumulative time (deterministic order)."""
+    rows = []
+    for func, (cc, nc, tt, ct, _callers) in stats.stats.items():  # type: ignore[attr-defined]
+        rows.append((-ct, _label(func), nc, cc, tt, ct))
+    rows.sort()
+    header = ["ncalls", "tottime", "cumtime", "function"]
+    table = [header, ["-" * len(h) for h in header]]
+    for _neg_ct, label, nc, cc, tt, ct in rows[:n]:
+        ncalls = str(nc) if nc == cc else f"{nc}/{cc}"
+        table.append([ncalls, f"{tt:.4f}", f"{ct:.4f}", label])
+    widths = [max(len(r[i]) for r in table) for i in range(3)]
+    lines = []
+    for row in table:
+        lines.append(
+            "  ".join(c.rjust(w) for c, w in zip(row[:3], widths)) + "  " + row[3]
+        )
+    return "\n".join(lines)
+
+
+def collapsed_stacks(stats: pstats.Stats, max_depth: int = _MAX_DEPTH) -> list[str]:
+    """Flamegraph-ready ``a;b;c <microseconds>`` lines from a call graph.
+
+    Time attribution is proportional: a function reached from several
+    callers splits its cumulative time across them by each edge's share,
+    and its own (``tottime``) share lands on its stack line.  Lines are
+    sorted, so equal profiles collapse to equal output.
+    """
+    raw: dict[tuple[str, int, str], tuple[int, int, float, float, dict]] = (
+        stats.stats  # type: ignore[attr-defined]
+    )
+    children: dict[tuple[str, int, str], list[tuple[str, int, str]]] = {}
+    roots: list[tuple[str, int, str]] = []
+    for func, (_cc, _nc, _tt, _ct, callers) in raw.items():
+        if not callers:
+            roots.append(func)
+        for caller in callers:
+            children.setdefault(caller, []).append(func)
+
+    lines: dict[str, float] = {}
+
+    def descend(func: tuple[str, int, str], stack: list[str], budget: float) -> None:
+        if budget <= 0:
+            return
+        _cc, _nc, _tt, ct, _callers = raw[func]
+        label = _label(func)
+        if label in stack or len(stack) >= max_depth:
+            return  # recursion / runaway depth: charge nothing further
+        stack = stack + [label]
+        scale = (budget / ct) if ct > 0 else 0.0
+        kids = sorted(children.get(func, ()), key=_label)
+        edges: list[tuple[tuple[str, int, str], float]] = []
+        child_budget = 0.0
+        for kid in kids:
+            # edge stats: (cc, nc, tt, ct) of calls made from ``func``
+            edge = raw[kid][4].get(func)
+            edge_ct = edge[3] if isinstance(edge, tuple) else 0.0
+            edges.append((kid, edge_ct))
+            child_budget += max(edge_ct, 0.0)
+        # whatever the children don't explain is this frame's own time
+        self_time = max(budget - scale * child_budget, 0.0)
+        key = ";".join(stack)
+        if self_time > 0:
+            lines[key] = lines.get(key, 0.0) + self_time
+        for kid, edge_ct in edges:
+            descend(kid, stack, scale * edge_ct)
+
+    for root in sorted(roots, key=_label):
+        ct = raw[root][3]
+        descend(root, [], ct)
+
+    out = []
+    for key in sorted(lines):
+        micros = int(round(lines[key] * 1e6))
+        if micros > 0:
+            out.append(f"{key} {micros}")
+    return out
+
+
+def write_profile(
+    stats: pstats.Stats, directory: "str | os.PathLike[str]"
+) -> Path:
+    """Dump ``profile.pstats`` and ``profile.collapsed`` into ``directory``."""
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    stats.dump_stats(str(out / "profile.pstats"))
+    collapsed = collapsed_stacks(stats)
+    with open(out / "profile.collapsed", "w", encoding="utf-8") as fh:
+        fh.write("\n".join(collapsed) + ("\n" if collapsed else ""))
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``repro profile <experiment>``: run a campaign under cProfile."""
+    from ..experiments import REGISTRY
+
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description=(
+            "Run one experiment under cProfile; prints a deterministic "
+            "top-N table and writes profile.pstats + profile.collapsed "
+            "(flamegraph-ready) to the output directory."
+        ),
+    )
+    parser.add_argument("experiment", choices=sorted(REGISTRY), help="experiment to profile")
+    parser.add_argument(
+        "-o",
+        "--output",
+        default="profile_out",
+        help="directory for profile.pstats / profile.collapsed (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=30, help="rows in the printed table (default: %(default)s)"
+    )
+    args = parser.parse_args(argv)
+
+    spec = REGISTRY[args.experiment]
+    _result, stats = profile_call(spec.main)
+    out = write_profile(stats, args.output)
+    print(top_table(stats, n=args.top))
+    print(f"\nprofile artifacts: {out / 'profile.pstats'}, {out / 'profile.collapsed'}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -22,10 +22,12 @@ from __future__ import annotations
 import json
 import os
 import subprocess
+import tempfile
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Iterable
 
 from .trace import SpanRecord, Tracer
 
@@ -46,6 +48,35 @@ __all__ = [
 SPANS_FILE = "spans.jsonl"
 METRICS_FILE = "metrics.jsonl"
 MANIFEST_FILE = "run.json"
+
+#: Sink failures warn once per process: a campaign that outlives its
+#: trace directory (unmounted disk, cleaned tmpdir) must keep running,
+#: and repeating the warning per record would bury the real output.
+_SINK_WARNED = False
+
+
+def _warn_sink_failure(path: Path, exc: OSError) -> None:
+    global _SINK_WARNED
+    if _SINK_WARNED:
+        return
+    _SINK_WARNED = True
+    warnings.warn(
+        f"trace sink {path} unwritable ({exc}); telemetry for this run is incomplete",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def _write_jsonl(path: Path, records: Iterable[dict[str, Any]], *, sort_keys: bool) -> None:
+    """Write one JSON object per line, flushing per record.
+
+    Per-record flushes mean a crash mid-write loses at most the line in
+    flight, and an external tail sees records as they land.
+    """
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=sort_keys) + "\n")
+            fh.flush()
 
 
 def git_describe(cwd: str | Path | None = None) -> str | None:
@@ -81,19 +112,36 @@ def write_run(
     meters: dict[str, Any] | None = None,
     extra: dict[str, Any] | None = None,
 ) -> Path:
-    """Write spans, per-run metrics, and the manifest; returns the dir."""
+    """Write spans, per-run metrics, and the manifest; returns the dir.
+
+    Best-effort: an unwritable or removed directory warns once per
+    process and returns (the campaign's results matter more than its
+    telemetry); the manifest is written atomically (tmp + rename) so a
+    reader never sees a truncated ``run.json``.
+    """
     out = Path(directory)
-    out.mkdir(parents=True, exist_ok=True)
+    try:
+        out.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        _warn_sink_failure(out, exc)
+        return out
 
-    with open(out / SPANS_FILE, "w", encoding="utf-8") as fh:
-        for span in tracer.finished:
-            fh.write(json.dumps(span.as_dict(), sort_keys=True) + "\n")
-
-    # no sort_keys here: funnel/stage dict order is the display order, and
-    # a reloaded report must render byte-identically to the live one
-    with open(out / METRICS_FILE, "w", encoding="utf-8") as fh:
-        for metrics in runs:
-            fh.write(json.dumps(metrics.as_dict()) + "\n")
+    try:
+        _write_jsonl(
+            out / SPANS_FILE,
+            (span.as_dict() for span in tracer.finished),
+            sort_keys=True,
+        )
+        # no sort_keys here: funnel/stage dict order is the display order,
+        # and a reloaded report must render byte-identically to the live one
+        _write_jsonl(
+            out / METRICS_FILE,
+            (metrics.as_dict() for metrics in runs),
+            sort_keys=False,
+        )
+    except OSError as exc:
+        _warn_sink_failure(out, exc)
+        return out
 
     manifest: dict[str, Any] = {
         "label": label,
@@ -123,9 +171,21 @@ def write_run(
     }
     if extra:
         manifest.update(extra)
-    with open(out / MANIFEST_FILE, "w", encoding="utf-8") as fh:
-        json.dump(manifest, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    try:
+        fd, tmp = tempfile.mkstemp(dir=out, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(manifest, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, out / MANIFEST_FILE)  # atomic publish
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError as exc:
+        _warn_sink_failure(out, exc)
     return out
 
 

@@ -46,6 +46,8 @@ from typing import Any
 
 import numpy as np
 
+from ..obs.metrics import get_registry
+
 __all__ = [
     "AnalysisCache",
     "CACHE_SCHEMA",
@@ -130,6 +132,7 @@ class AnalysisCache:
         self.directory = Path(directory) if directory is not None else None
         self.max_items = max(int(max_items), 1)
         self._memory: OrderedDict[str, Any] = OrderedDict()
+        self._bytes_written = 0  # cumulative durable-tier bytes, this instance
 
     # -- lookup ----------------------------------------------------------
     def get(self, key: str) -> tuple[bool, Any]:
@@ -141,9 +144,11 @@ class AnalysisCache:
             path = self._path(key)
             try:
                 with open(path, "rb") as fh:
-                    value = pickle.load(fh)
+                    blob = fh.read()
+                value = pickle.loads(blob)
             except (OSError, pickle.PickleError, EOFError):
                 return False, None
+            get_registry().counter("cache.bytes.hit").inc(len(blob))
             self._remember(key, value)
             return True, value
         return False, None
@@ -156,11 +161,12 @@ class AnalysisCache:
             return True
         path = self._path(key)
         try:
+            blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                    fh.write(blob)
                 os.replace(tmp, path)  # atomic: parallel writers race safely
             except BaseException:
                 try:
@@ -170,6 +176,12 @@ class AnalysisCache:
                 raise
         except OSError:
             return False
+        # byte accounting covers the durable tier only: the memory tier
+        # never serialises, so it has no meaningful byte size to report
+        registry = get_registry()
+        registry.counter("cache.bytes.store").inc(len(blob))
+        self._bytes_written += len(blob)
+        registry.max_gauge("cache.bytes.at_rest").set(self._bytes_written)
         return True
 
     def __len__(self) -> int:

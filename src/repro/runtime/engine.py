@@ -24,6 +24,8 @@ from ..core.pipeline import BlockAnalysis
 from ..core.stages import PIPELINE_STAGES, StageRecord
 from ..obs.metrics import MetricsRegistry, get_registry, scoped_registry
 from ..obs.names import metric_name
+from ..obs.progress import get_progress
+from ..obs.resources import ResourceTracker, cpu_seconds, format_bytes, peak_rss_bytes
 from ..obs.trace import NoopTracer, SpanRecord, Tracer, get_tracer, use_tracer
 from .cache import AnalysisCache, default_cache
 from .executors import Executor, ParallelExecutor, SerialExecutor
@@ -89,8 +91,16 @@ class TracedCall:
     def __call__(self, task: Any) -> ShippedResult:
         tracer = Tracer(trace_id=self.trace_id, root_parent_id=self.parent_id)
         with scoped_registry() as registry, use_tracer(tracer):
+            cpu_start = cpu_seconds()
             with tracer.span(self.span_name, attrs={"pid": os.getpid()}):
                 value = self.fn(task)
+            # per-worker accounting rides home in the meter snapshot:
+            # the histogram's sum/count aggregate CPU across tasks and
+            # the max-gauge keeps each worker process's RSS high-water
+            registry.histogram("resources.worker.cpu_s").observe(
+                cpu_seconds() - cpu_start
+            )
+            registry.max_gauge("resources.worker.rss_peak_bytes").set(peak_rss_bytes())
         return ShippedResult(
             value=value, spans=tuple(tracer.finished), meters=registry.snapshot()
         )
@@ -102,6 +112,8 @@ class StageTotals:
 
     calls: int = 0
     wall_s: float = 0.0
+    cpu_s: float = 0.0
+    rss_delta: int = 0  # summed RSS high-water rise across calls, bytes
     n_in: int = 0
     n_out: int = 0
     skips: dict[str, int] = field(default_factory=dict)
@@ -117,6 +129,8 @@ class StageTotals:
             return
         self.calls += 1
         self.wall_s += record.wall_s
+        self.cpu_s += record.cpu_s
+        self.rss_delta += record.rss_delta
         self.n_in += record.n_in
         self.n_out += record.n_out
 
@@ -124,6 +138,8 @@ class StageTotals:
         return {
             "calls": self.calls,
             "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "rss_delta": self.rss_delta,
             "n_in": self.n_in,
             "n_out": self.n_out,
             "skips": dict(self.skips),
@@ -134,6 +150,8 @@ class StageTotals:
         return cls(
             calls=d["calls"],
             wall_s=d["wall_s"],
+            cpu_s=d.get("cpu_s", 0.0),  # absent in pre-resource saved traces
+            rss_delta=d.get("rss_delta", 0),
             n_in=d["n_in"],
             n_out=d["n_out"],
             skips=dict(d.get("skips") or {}),
@@ -154,6 +172,7 @@ class RunMetrics:
     meters: dict[str, Any] | None = None  # merged registry snapshot (traced runs)
     cache: dict[str, int] | None = None  # hits/misses/stores (cached runs only)
     batched: dict[str, int] | None = None  # blocks/groups/chunks (batched runs only)
+    resources: dict[str, Any] | None = None  # cpu/rss/pool-payload accounting
 
     @property
     def blocks_per_sec(self) -> float:
@@ -183,6 +202,7 @@ class RunMetrics:
             "meters": self.meters,
             "cache": self.cache,
             "batched": self.batched,
+            "resources": self.resources,
         }
 
     @classmethod
@@ -202,6 +222,7 @@ class RunMetrics:
             meters=d.get("meters"),
             cache=d.get("cache"),  # absent in pre-cache saved traces
             batched=d.get("batched"),  # absent in pre-batching saved traces
+            resources=d.get("resources"),  # absent in pre-resource saved traces
         )
 
     def report(self) -> str:
@@ -213,7 +234,7 @@ class RunMetrics:
         if self.fallback:
             lines.append(f"  ! fell back to serial: {self.fallback}")
         if self.stages:
-            rows = [["stage", "calls", "skipped", "wall_s", "n_in", "n_out"]]
+            rows = [["stage", "calls", "skipped", "wall_s", "cpu_s", "rss+", "n_in", "n_out"]]
             ordered = [n for n in PIPELINE_STAGES if n in self.stages]
             ordered += [n for n in self.stages if n not in PIPELINE_STAGES]
             for name in ordered:
@@ -224,6 +245,8 @@ class RunMetrics:
                         str(t.calls),
                         str(sum(t.skips.values())),
                         f"{t.wall_s:.3f}",
+                        f"{t.cpu_s:.3f}",
+                        format_bytes(t.rss_delta),
                         str(t.n_in),
                         str(t.n_out),
                     ]
@@ -250,6 +273,37 @@ class RunMetrics:
                 f"{self.batched.get('groups', 0)} grid groups, "
                 f"{self.batched.get('chunks', 0)} chunks"
             )
+        if self.resources is not None:
+            res = self.resources
+            line = (
+                f"  resources: cpu {res.get('cpu_s', 0.0):.2f}s / "
+                f"{res.get('wall_s', 0.0):.2f}s wall "
+                f"({100.0 * res.get('cpu_utilization', 0.0):.0f}%), "
+                f"rss {format_bytes(res.get('rss_bytes', 0))} "
+                f"(peak {format_bytes(res.get('rss_peak_bytes', 0))}, "
+                f"run +{format_bytes(res.get('rss_peak_delta_bytes', 0))})"
+            )
+            lines.append(line)
+            tm = res.get("tracemalloc")
+            if tm:
+                lines.append(
+                    f"  tracemalloc: {format_bytes(tm.get('current_bytes', 0))} live, "
+                    f"{format_bytes(tm.get('peak_bytes', 0))} peak"
+                )
+            pool = res.get("pool")
+            if pool:
+                lines.append(
+                    f"  pool: {format_bytes(pool.get('task_bytes', 0))} payload out, "
+                    f"{format_bytes(pool.get('result_bytes', 0))} results back "
+                    f"over {pool.get('maps', 0)} dispatches"
+                )
+            workers = res.get("workers")
+            if workers:
+                lines.append(
+                    f"  workers: cpu {workers.get('cpu_s', 0.0):.2f}s over "
+                    f"{workers.get('tasks', 0)} tasks, "
+                    f"rss peak {format_bytes(workers.get('rss_peak_bytes', 0))}"
+                )
         return "\n".join(lines)
 
 
@@ -392,37 +446,59 @@ class CampaignEngine:
         tasks = list(tasks)
         use_batched = self.batched and hasattr(fn, "batched_split")
 
+        tracker = ResourceTracker()
+        payload_before = self._payload_snapshot()
         start = time.perf_counter()
         keys, hits, pending = self._consult_cache(fn, tasks)
-        pending_tasks = [tasks[i] for i in pending]
-        if not tracer.enabled:
-            if use_batched:
-                computed, batched_stats = self._dispatch_batched(fn, pending_tasks)
-            else:
-                computed = self.executor.map(fn, pending_tasks)
-                batched_stats = None
-            wall_s = time.perf_counter() - start
-            results = self._merge_results(len(tasks), hits, pending, computed)
-            metrics = self._aggregate(results, label=label, wall_s=wall_s)
-            metrics.batched = batched_stats
-            stores = self._store_results(keys, pending, computed)
-            metrics.cache = self._cache_stats(keys, hits, pending, stores)
-            if metrics.cache is not None:
-                self._emit_cache_counters(get_registry(), metrics.cache)
-            if batched_stats is not None:
-                self._emit_batched_counters(get_registry(), batched_stats)
-        else:
-            results, metrics = self._run_traced(
-                fn,
-                tasks,
-                label=label,
-                tracer=tracer,
-                started=start,
-                keys=keys,
-                hits=hits,
-                pending=pending,
-                use_batched=use_batched,
+        progress = get_progress()
+        if keys is not None:
+            progress.begin(
+                label,
+                len(tasks),
+                done=len(hits),
+                cache_hits=len(hits),
+                cache_misses=len(pending),
             )
+        else:
+            progress.begin(label, len(tasks))
+        try:
+            pending_tasks = [tasks[i] for i in pending]
+            if not tracer.enabled:
+                if use_batched:
+                    computed, batched_stats = self._dispatch_batched(fn, pending_tasks)
+                else:
+                    computed = self._map_tasks(fn, pending_tasks, None, "block")
+                    batched_stats = None
+                wall_s = time.perf_counter() - start
+                results = self._merge_results(len(tasks), hits, pending, computed)
+                metrics = self._aggregate(results, label=label, wall_s=wall_s)
+                metrics.batched = batched_stats
+                stores = self._store_results(keys, pending, computed)
+                metrics.cache = self._cache_stats(keys, hits, pending, stores)
+                if metrics.cache is not None:
+                    self._emit_cache_counters(get_registry(), metrics.cache)
+                if batched_stats is not None:
+                    self._emit_batched_counters(get_registry(), batched_stats)
+                metrics.resources = self._finish_resources(
+                    tracker, payload_before, meters=None
+                )
+                self._emit_resource_meters(get_registry(), metrics.resources)
+            else:
+                results, metrics = self._run_traced(
+                    fn,
+                    tasks,
+                    label=label,
+                    tracer=tracer,
+                    started=start,
+                    keys=keys,
+                    hits=hits,
+                    pending=pending,
+                    use_batched=use_batched,
+                    tracker=tracker,
+                    payload_before=payload_before,
+                )
+        finally:
+            progress.finish()
         self.history.append(metrics)
         _RUN_LOG.append(metrics)
         return EngineRun(results=results, metrics=metrics)
@@ -504,7 +580,11 @@ class CampaignEngine:
         hits: dict[int, Any],
         pending: list[int],
         use_batched: bool = False,
+        tracker: ResourceTracker | None = None,
+        payload_before: dict[str, int] | None = None,
     ) -> tuple[list[Any], RunMetrics]:
+        if tracker is None:
+            tracker = ResourceTracker()
         with tracer.span(
             "campaign",
             attrs={"label": label, "executor": self.executor.name, "n_tasks": len(tasks)},
@@ -535,6 +615,13 @@ class CampaignEngine:
             merged.histogram("engine.run_wall_s").observe(wall_s)
             for key, n in metrics.funnel.items():
                 merged.counter(metric_name("funnel", key)).inc(n)
+            # worker meters have merged by now: summarise them into the
+            # resources section, then emit the coordinator's own meters
+            # so the final snapshot carries the full resource picture
+            metrics.resources = self._finish_resources(
+                tracker, payload_before, meters=merged.snapshot()
+            )
+            self._emit_resource_meters(merged, metrics.resources)
             metrics.meters = merged.snapshot()
             # the process-wide registry sees worker metrics too, so the
             # manifest's snapshot covers the whole run
@@ -544,6 +631,57 @@ class CampaignEngine:
                 span.set(cache_hits=metrics.cache["hits"])
         return results, metrics
 
+    # -- resource accounting ------------------------------------------------
+    def _payload_snapshot(self) -> dict[str, int] | None:
+        """Copy of the executor's cumulative payload counters, if it has any."""
+        payload = getattr(self.executor, "payload", None)
+        return dict(payload) if isinstance(payload, dict) else None
+
+    def _finish_resources(
+        self,
+        tracker: ResourceTracker,
+        payload_before: dict[str, int] | None,
+        *,
+        meters: dict[str, Any] | None,
+    ) -> dict[str, Any]:
+        """Close the run's resource bracket and assemble the summary.
+
+        ``pool`` is the pool payload delta attributable to this run (only
+        present when a real pool dispatched); ``workers`` summarises the
+        per-worker meters shipped home by :class:`TracedCall` (traced
+        runs only — untraced parallel runs have no shipping envelope).
+        """
+        res = tracker.summary()
+        payload_after = self._payload_snapshot()
+        if payload_after is not None and payload_before is not None:
+            delta = {
+                k: payload_after.get(k, 0) - payload_before.get(k, 0)
+                for k in payload_after
+            }
+            if delta.get("maps", 0) > 0:
+                res["pool"] = {
+                    "task_bytes": delta.get("task_bytes", 0),
+                    "result_bytes": delta.get("result_bytes", 0),
+                    "maps": delta.get("maps", 0),
+                }
+        if meters is not None:
+            workers: dict[str, Any] = {}
+            cpu = meters.get("resources.worker.cpu_s")
+            if cpu is not None:
+                workers["cpu_s"] = cpu.get("sum", 0.0)
+                workers["tasks"] = cpu.get("count", 0)
+            rss = meters.get("resources.worker.rss_peak_bytes")
+            if rss is not None:
+                workers["rss_peak_bytes"] = int(rss.get("value", 0))
+            if workers:
+                res["workers"] = workers
+        return res
+
+    @staticmethod
+    def _emit_resource_meters(registry: MetricsRegistry, res: dict[str, Any]) -> None:
+        registry.histogram("resources.cpu_s").observe(res.get("cpu_s", 0.0))
+        registry.max_gauge("resources.rss_peak_bytes").set(res.get("rss_peak_bytes", 0))
+
     # -- batched dispatch ---------------------------------------------------
     def _map_tasks(
         self,
@@ -551,17 +689,30 @@ class CampaignEngine:
         tasks: list[Any],
         traced: "_TracedDispatch | None",
         span_name: str,
+        tick_weight: int = 1,
     ) -> list[Any]:
-        """One executor fan-out, through :class:`TracedCall` when traced."""
+        """One executor fan-out, through :class:`TracedCall` when traced.
+
+        Every completed result ticks the ambient progress emitter;
+        ``tick_weight`` is 1 for fan-outs that complete one block per
+        result and 0 for the batched tail phase (whose blocks were
+        already counted by phase A), so ``done`` converges to the task
+        total exactly once per block.
+        """
+        progress = get_progress()
+
+        def on_result(_result: Any) -> None:
+            progress.tick(tick_weight)
+
         if traced is None:
-            return self.executor.map(fn, tasks)
+            return self.executor.map(fn, tasks, on_result)
         call = TracedCall(
             fn=fn,
             trace_id=traced.tracer.trace_id,
             parent_id=traced.parent_id,
             span_name=span_name,
         )
-        shipped = self.executor.map(call, tasks)
+        shipped = self.executor.map(call, tasks, on_result)
         values = []
         for s in shipped:
             traced.tracer.adopt(s.spans)
@@ -603,7 +754,11 @@ class CampaignEngine:
         for members in groups.values():
             chunks.extend(_chunk_group(members, workers))
         computed = self._map_tasks(
-            tail_fn, [tuple(rb for _, rb in c) for c in chunks], traced, "batch"
+            tail_fn,
+            [tuple(rb for _, rb in c) for c in chunks],
+            traced,
+            "batch",
+            tick_weight=0,  # phase A already counted these blocks as done
         )
         for members, block_results in zip(chunks, computed):
             for (i, _), result in zip(members, block_results):

@@ -2,12 +2,23 @@
 
 The executor contract is a single method::
 
-    map(fn, tasks) -> list   # results in task order
+    map(fn, tasks, on_result=None) -> list   # results in task order
 
 ``fn`` must be picklable for the parallel executor (the repo's jobs are
 frozen dataclasses with ``__call__`` — see :mod:`repro.runtime.jobs`),
 and both executors must return *identical* results for a deterministic
 ``fn``: the parallel path only changes wall-clock, never values.
+
+``on_result`` is an optional observation hook invoked once per completed
+result, in task order, as results stream in — the engine uses it to
+drive the live progress heartbeat.  Hooks must not mutate results.
+
+When a real pool runs, the parallel executor also accounts the pickle
+payload it ships: callable + task bytes out, result bytes back
+(re-pickled for measurement, so the numbers are close approximations of
+what the pool moved, not exact wire counts).  Totals accumulate on
+``ParallelExecutor.payload`` and in the ``executor.payload.*`` counters;
+the engine reports the per-run delta under ``RunMetrics.resources``.
 """
 
 from __future__ import annotations
@@ -22,6 +33,9 @@ from ..obs.metrics import get_registry
 
 __all__ = ["Executor", "ParallelExecutor", "SerialExecutor"]
 
+#: Signature of the per-result observation hook.
+OnResult = Callable[[Any], None]
+
 
 @runtime_checkable
 class Executor(Protocol):
@@ -29,7 +43,24 @@ class Executor(Protocol):
 
     name: str
 
-    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]: ...
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Iterable[Any],
+        on_result: OnResult | None = None,
+    ) -> list[Any]: ...
+
+
+def _run_serial(
+    fn: Callable[[Any], Any], tasks: Iterable[Any], on_result: OnResult | None
+) -> list[Any]:
+    results = []
+    for task in tasks:
+        result = fn(task)
+        if on_result is not None:
+            on_result(result)
+        results.append(result)
+    return results
 
 
 class SerialExecutor:
@@ -37,8 +68,13 @@ class SerialExecutor:
 
     name = "serial"
 
-    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]:
-        return [fn(task) for task in tasks]
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Iterable[Any],
+        on_result: OnResult | None = None,
+    ) -> list[Any]:
+        return _run_serial(fn, tasks, on_result)
 
     def __repr__(self) -> str:
         return "SerialExecutor()"
@@ -69,16 +105,29 @@ class ParallelExecutor:
         self.workers = os.cpu_count() or 1 if workers is None else int(workers)
         self.chunk_size = chunk_size
         self.fallback_reason: str | None = None
+        #: Cumulative pool payload accounting (bytes re-pickled for
+        #: measurement; only counted when a real pool dispatched).
+        self.payload: dict[str, int] = {
+            "fn_bytes": 0,
+            "task_bytes": 0,
+            "result_bytes": 0,
+            "maps": 0,
+        }
 
     @property
     def name(self) -> str:
         return f"parallel[{self.workers}]"
 
-    def map(self, fn: Callable[[Any], Any], tasks: Iterable[Any]) -> list[Any]:
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Iterable[Any],
+        on_result: OnResult | None = None,
+    ) -> list[Any]:
         tasks = list(tasks)
         self.fallback_reason = None
         if self.workers <= 1 or len(tasks) <= 1:
-            return [fn(task) for task in tasks]
+            return _run_serial(fn, tasks, on_result)
 
         n_workers = min(self.workers, len(tasks))
         chunk = self.chunk_size or max(1, -(-len(tasks) // (n_workers * 4)))
@@ -88,21 +137,37 @@ class ParallelExecutor:
         except (OSError, ValueError, RuntimeError) as exc:
             self.fallback_reason = f"pool spawn failed: {type(exc).__name__}: {exc}"
             registry.counter("executor.fallbacks").inc()
-            return [fn(task) for task in tasks]
+            return _run_serial(fn, tasks, on_result)
         # gauges describe a pool that actually exists; emitting them
         # before the spawn would report a pool that fell back to serial
         registry.gauge("executor.pool_workers").set(n_workers)
         registry.gauge("executor.chunk_size").set(chunk)
         try:
             with pool:
-                return list(pool.map(fn, tasks, chunksize=chunk))
+                proto = pickle.HIGHEST_PROTOCOL
+                fn_bytes = len(pickle.dumps(fn, protocol=proto))
+                task_bytes = sum(len(pickle.dumps(t, protocol=proto)) for t in tasks)
+                results = []
+                result_bytes = 0
+                for result in pool.map(fn, tasks, chunksize=chunk):
+                    result_bytes += len(pickle.dumps(result, protocol=proto))
+                    if on_result is not None:
+                        on_result(result)
+                    results.append(result)
+                self.payload["fn_bytes"] += fn_bytes
+                self.payload["task_bytes"] += fn_bytes + task_bytes
+                self.payload["result_bytes"] += result_bytes
+                self.payload["maps"] += 1
+                registry.counter("executor.payload.task_bytes").inc(fn_bytes + task_bytes)
+                registry.counter("executor.payload.result_bytes").inc(result_bytes)
+                return results
         except (BrokenProcessPool, pickle.PicklingError, OSError) as exc:
             # Pool infrastructure failure (not a task error): rerun
             # everything in-process.  Tasks are deterministic and
             # side-effect free, so re-execution is safe.
             self.fallback_reason = f"pool failed: {type(exc).__name__}: {exc}"
             registry.counter("executor.fallbacks").inc()
-            return [fn(task) for task in tasks]
+            return _run_serial(fn, tasks, on_result)
 
     def __repr__(self) -> str:
         return f"ParallelExecutor(workers={self.workers}, chunk_size={self.chunk_size})"

@@ -1,0 +1,276 @@
+"""Tests for the bench trajectory, cProfile wrapper, and sink hardening."""
+
+from __future__ import annotations
+
+import json
+import re
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    append_record,
+    check_regression,
+    load_history,
+    machine_fingerprint,
+    merge_latest_section,
+)
+from repro.obs.profiling import collapsed_stacks, profile_call, top_table, write_profile
+
+
+# ---------------------------------------------------------------------------
+# bench history document
+# ---------------------------------------------------------------------------
+def _record(machine: dict, sections: dict, t: float = 0.0) -> dict:
+    return {"t_unix": t, "git": "test", "machine": machine, "sections": sections}
+
+
+class TestBenchHistory:
+    def test_load_missing_file_is_empty_document(self, tmp_path):
+        doc = load_history(tmp_path / "nope.json")
+        assert doc == {"schema": BENCH_SCHEMA, "history": []}
+
+    def test_legacy_flat_snapshot_migrates_in_place(self, tmp_path):
+        legacy = {
+            "kernels": {"cusum": {"vectorized_s": 0.1, "reference_s": 1.0, "speedup": 10.0}},
+            "batched": {"trend": {"batched_s": 0.2, "scalar_s": 1.0, "speedup": 5.0}},
+        }
+        path = tmp_path / "BENCH_kernels.json"
+        path.write_text(json.dumps(legacy))
+        doc = load_history(path)
+        assert doc["schema"] == BENCH_SCHEMA
+        # old latest sections survive; no fabricated history records
+        assert doc["kernels"] == legacy["kernels"]
+        assert doc["batched"] == legacy["batched"]
+        assert doc["history"] == []
+
+    def test_append_record_updates_latest_and_history(self, tmp_path):
+        path = tmp_path / "bench.json"
+        sections = {"engine": {"scale": 8, "wall_s": 0.5, "blocks_per_sec": 16.0}}
+        append_record(path, sections)
+        doc = json.loads(path.read_text())
+        assert doc["engine"] == sections["engine"]
+        assert len(doc["history"]) == 1
+        record = doc["history"][0]
+        assert record["sections"] == sections
+        assert record["machine"]["id"] == machine_fingerprint()["id"]
+        assert record["t_unix"] > 0
+
+        append_record(path, sections)
+        assert len(load_history(path)["history"]) == 2
+
+    def test_merge_latest_section_leaves_history_alone(self, tmp_path):
+        path = tmp_path / "bench.json"
+        append_record(path, {"engine": {"scale": 8, "blocks_per_sec": 16.0}})
+        merge_latest_section(path, "kernels", {"cusum": {"vectorized_s": 0.1}})
+        doc = load_history(path)
+        assert doc["kernels"] == {"cusum": {"vectorized_s": 0.1}}
+        assert len(doc["history"]) == 1  # artifact refresh appends nothing
+
+    def test_machine_fingerprint_is_stable(self):
+        a, b = machine_fingerprint(), machine_fingerprint()
+        assert a == b
+        assert re.fullmatch(r"[0-9a-f]{12}", a["id"])
+
+
+class TestRegressionGate:
+    MACHINE = {"id": "aaaaaaaaaaaa"}
+
+    def _doc(self, *records):
+        return {"schema": BENCH_SCHEMA, "history": list(records)}
+
+    def test_no_history_is_a_note_not_a_failure(self):
+        regs, notes = check_regression(self._doc())
+        assert regs == [] and notes
+
+    def test_injected_50pct_kernel_slowdown_is_detected(self):
+        baseline = {"kernels": {"cusum": {"vectorized_s": 0.100, "speedup": 10.0}}}
+        slowed = {"kernels": {"cusum": {"vectorized_s": 0.150, "speedup": 6.7}}}
+        doc = self._doc(
+            _record(self.MACHINE, baseline, 1.0),
+            _record(self.MACHINE, baseline, 2.0),
+            _record(self.MACHINE, slowed, 3.0),
+        )
+        regs, _ = check_regression(doc, threshold_pct=25.0)
+        assert len(regs) == 1
+        assert "kernels/cusum/vectorized_s" in regs[0]
+        assert "+50%" in regs[0]
+
+    def test_throughput_drop_is_detected(self):
+        fast = {"engine": {"scale": 200, "blocks_per_sec": 100.0}}
+        slow = {"engine": {"scale": 200, "blocks_per_sec": 40.0}}
+        doc = self._doc(
+            _record(self.MACHINE, fast, 1.0), _record(self.MACHINE, slow, 2.0)
+        )
+        regs, _ = check_regression(doc, threshold_pct=25.0)
+        assert len(regs) == 1
+        assert "engine/blocks_per_sec" in regs[0]
+
+    def test_within_threshold_noise_passes(self):
+        a = {"kernels": {"cusum": {"vectorized_s": 0.100}}}
+        b = {"kernels": {"cusum": {"vectorized_s": 0.110}}}  # 10% < 25%
+        doc = self._doc(_record(self.MACHINE, a, 1.0), _record(self.MACHINE, b, 2.0))
+        regs, _ = check_regression(doc, threshold_pct=25.0)
+        assert regs == []
+
+    def test_other_machines_records_are_not_a_baseline(self):
+        fast = {"kernels": {"cusum": {"vectorized_s": 0.010}}}
+        slow = {"kernels": {"cusum": {"vectorized_s": 1.000}}}
+        doc = self._doc(
+            _record({"id": "bbbbbbbbbbbb"}, fast, 1.0),
+            _record(self.MACHINE, slow, 2.0),
+        )
+        regs, notes = check_regression(doc, threshold_pct=25.0)
+        assert regs == []
+        assert any("no comparable" in note for note in notes)
+
+    def test_different_engine_scale_is_not_comparable(self):
+        big = {"engine": {"scale": 200, "blocks_per_sec": 100.0}}
+        small = {"engine": {"scale": 16, "blocks_per_sec": 30.0}}
+        doc = self._doc(
+            _record(self.MACHINE, big, 1.0), _record(self.MACHINE, small, 2.0)
+        )
+        regs, notes = check_regression(doc, threshold_pct=25.0)
+        assert regs == []
+        assert any("no comparable" in note for note in notes)
+
+    def test_median_baseline_shrugs_off_one_noisy_run(self):
+        good = {"kernels": {"cusum": {"vectorized_s": 0.100}}}
+        noisy = {"kernels": {"cusum": {"vectorized_s": 0.500}}}
+        doc = self._doc(
+            _record(self.MACHINE, good, 1.0),
+            _record(self.MACHINE, noisy, 2.0),
+            _record(self.MACHINE, good, 3.0),
+            _record(self.MACHINE, good, 4.0),
+        )
+        regs, _ = check_regression(doc, threshold_pct=25.0)
+        assert regs == []  # median of {0.1, 0.5, 0.1} is 0.1
+
+
+class TestBenchCli:
+    def test_bench_records_and_check_gates(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main as cli_main
+
+        monkeypatch.setenv("REPRO_SCALE", "8")
+        out = tmp_path / "bench.json"
+        assert cli_main(["bench", "--sections", "engine", "--output", str(out)]) == 0
+        doc = load_history(out)
+        assert len(doc["history"]) == 1
+        assert doc["engine"]["scale"] == 8
+
+        # a second run gives --check a baseline; a fresh run of the same
+        # code on the same machine must pass
+        assert cli_main(["bench", "--sections", "engine", "--output", str(out)]) == 0
+        assert cli_main(["bench", "--check", "--output", str(out)]) == 0
+
+        # inject a 50% throughput collapse into the newest record
+        doc = load_history(out)
+        doc["history"][-1]["sections"]["engine"]["blocks_per_sec"] *= 0.5
+        out.write_text(json.dumps(doc))
+        assert cli_main(["bench", "--check", "--output", str(out)]) == 1
+        assert (
+            cli_main(["bench", "--check", "--warn-only", "--output", str(out)]) == 0
+        )
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_unknown_section_is_an_error(self, tmp_path):
+        from repro.bench import run_sections
+
+        with pytest.raises(ValueError, match="unknown bench section"):
+            run_sections(["definitely-not-a-section"])
+
+
+# ---------------------------------------------------------------------------
+# cProfile wrapper
+# ---------------------------------------------------------------------------
+def _workload():
+    total = 0
+    for i in range(50_000):
+        total += i * i
+    return total
+
+
+class TestProfiling:
+    def test_profile_call_returns_result_and_stats(self):
+        result, stats = profile_call(_workload)
+        assert result == _workload()
+        assert stats.stats  # type: ignore[attr-defined]
+
+    def test_top_table_shape_and_no_absolute_paths(self):
+        _, stats = profile_call(_workload)
+        table = top_table(stats, n=10)
+        lines = table.splitlines()
+        assert lines[0].split() == ["ncalls", "tottime", "cumtime", "function"]
+        assert any("_workload" in line for line in lines)
+        assert "/" not in table  # labels are basename:name, machine-neutral
+
+    def test_collapsed_stacks_format_and_determinism(self):
+        _, stats = profile_call(_workload)
+        first = collapsed_stacks(stats)
+        second = collapsed_stacks(stats)
+        assert first == second  # same stats, identical rendering
+        assert first == sorted(first)
+        for line in first:
+            stack, count = line.rsplit(" ", 1)
+            assert stack
+            assert int(count) > 0
+
+    def test_write_profile_artifacts(self, tmp_path):
+        _, stats = profile_call(_workload)
+        out = write_profile(stats, tmp_path / "prof")
+        assert (out / "profile.pstats").is_file()
+        assert (out / "profile.collapsed").is_file()
+
+    def test_profile_cli_runs_an_experiment(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main as cli_main
+
+        monkeypatch.setenv("REPRO_SCALE", "16")
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["profile", "fig3", "-o", str(tmp_path / "prof")]) == 0
+        out = capsys.readouterr().out
+        assert "cumtime" in out
+        assert (tmp_path / "prof" / "profile.collapsed").is_file()
+
+
+# ---------------------------------------------------------------------------
+# sink hardening (satellite 1)
+# ---------------------------------------------------------------------------
+class TestSinkHardening:
+    def _write(self, directory):
+        import repro.obs.sinks as sinks
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        with tracer.span("run"):
+            pass
+        return sinks.write_run(directory, tracer=tracer, runs=[], label="t")
+
+    def test_unwritable_directory_warns_once(self, tmp_path, monkeypatch):
+        import repro.obs.sinks as sinks
+
+        monkeypatch.setattr(sinks, "_SINK_WARNED", False)
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the trace dir should be")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            self._write(blocker / "trace")  # mkdir fails: parent is a file
+            self._write(blocker / "trace")  # second failure stays silent
+        sink_warnings = [w for w in caught if "trace sink" in str(w.message)]
+        assert len(sink_warnings) == 1
+
+    def test_manifest_publish_leaves_no_tmp_droppings(self, tmp_path):
+        out = self._write(tmp_path / "trace")
+        assert (out / "run.json").is_file()
+        assert not list(Path(out).glob("*.tmp"))
+        json.loads((out / "run.json").read_text())  # valid, complete JSON
+
+    def test_healthy_write_does_not_warn(self, tmp_path, monkeypatch):
+        import repro.obs.sinks as sinks
+
+        monkeypatch.setattr(sinks, "_SINK_WARNED", False)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            self._write(tmp_path / "trace")
+        assert not [w for w in caught if "trace sink" in str(w.message)]

@@ -11,6 +11,7 @@ from repro.core.stages import StageContext
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Histogram,
+    MaxGauge,
     MetricsRegistry,
     get_registry,
     scoped_registry,
@@ -179,6 +180,76 @@ class TestMetricsRegistry:
         assert get_registry() is outer
         assert "only-here" not in outer.snapshot()
 
+    def test_max_gauge_keeps_high_water(self):
+        gauge = MaxGauge()
+        gauge.set(5.0)
+        gauge.set(3.0)  # lower values never pull the high-water down
+        assert gauge.value == 5.0
+        gauge.set(9.0)
+        assert gauge.as_dict() == {"type": "max", "value": 9.0}
+
+    def test_max_gauge_merge_takes_max(self):
+        parent = MetricsRegistry()
+        parent.max_gauge("m").set(4.0)
+        worker = MetricsRegistry()
+        worker.max_gauge("m").set(7.0)
+        parent.merge(worker.snapshot())
+        assert parent.snapshot()["m"]["value"] == 7.0
+        parent.merge({"m": {"type": "max", "value": 2.0}})
+        assert parent.snapshot()["m"]["value"] == 7.0
+
+    @staticmethod
+    def _worker_snapshot(seed: int) -> dict:
+        reg = MetricsRegistry()
+        reg.counter("c").inc(seed)
+        reg.gauge("g").set(float(seed))
+        reg.max_gauge("m").set(float(seed * 3))
+        hist = reg.histogram("h", buckets=(1.0, 2.0))
+        # boundary values on purpose: 1.0 and 2.0 land in their <= bucket
+        for value in (0.5, 1.0, 2.0, float(seed)):
+            hist.observe(value)
+        return reg.snapshot()
+
+    def test_merge_of_merged_equals_merge_of_originals(self):
+        """Merging is associative: pre-folding worker pairs changes nothing.
+
+        This is the property the engine relies on when parallel workers
+        ship snapshots home in arbitrary interleavings: any grouping of
+        the same snapshots must fold to the same totals.
+        """
+        snaps = [self._worker_snapshot(s) for s in (1, 2, 3, 4)]
+
+        flat = MetricsRegistry()
+        for snap in snaps:
+            flat.merge(snap)
+
+        left = MetricsRegistry()
+        left.merge(snaps[0])
+        left.merge(snaps[1])
+        right = MetricsRegistry()
+        right.merge(snaps[2])
+        right.merge(snaps[3])
+        grouped = MetricsRegistry()
+        grouped.merge(left.snapshot())
+        grouped.merge(right.snapshot())
+
+        # order-preserving grouping (what staged merging does) is exact;
+        # counters/histograms/max-gauges are order-insensitive outright,
+        # plain gauges keep last-write-wins semantics either way
+        assert grouped.snapshot() == flat.snapshot()
+
+    def test_merge_preserves_histogram_bucket_edges(self):
+        """Boundary observations stay in their <= bucket across a merge."""
+        worker = MetricsRegistry()
+        worker.histogram("h", buckets=(1.0, 2.0)).observe(1.0)
+        worker.histogram("h").observe(2.0)
+        parent = MetricsRegistry()
+        parent.histogram("h", buckets=(1.0, 2.0)).observe(1.0)
+        parent.merge(worker.snapshot())
+        snap = parent.snapshot()["h"]
+        assert snap["counts"] == [2, 1, 0]
+        assert snap["count"] == 3
+
 
 class TestTracedEngineRun:
     def test_traced_run_adopts_block_spans_and_meters(self):
@@ -252,6 +323,8 @@ class TestSatelliteFixes:
         ctx.skip("detect", "no-trend")
         assert ctx.as_dict()["detect"] == {
             "wall_s": 0.0,
+            "cpu_s": 0.0,
+            "rss_delta": 0,
             "n_in": 0,
             "n_out": 0,
             "skipped": "no-trend",
