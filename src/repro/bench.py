@@ -56,6 +56,7 @@ __all__ = [
     "machine_fingerprint",
     "measure_batched_kernels",
     "measure_cusum_scaling",
+    "measure_dispatch_tiers",
     "measure_engine",
     "measure_kernels",
     "merge_latest_section",
@@ -67,12 +68,20 @@ BENCH_FILE = "BENCH_kernels.json"
 BENCH_SCHEMA = 1
 HISTORY_CAP = 500
 DEFAULT_THRESHOLD_PCT = 25.0
-DEFAULT_SECTIONS = ("kernels", "batched", "cusum_rows_scaling", "engine")
+DEFAULT_SECTIONS = (
+    "kernels",
+    "batched",
+    "cusum_rows_scaling",
+    "dispatch_tiers",
+    "engine",
+)
 
 QUARTER_S = 84 * 86_400.0
 BATCH_BLOCKS = 256
 ENGINE_DATASET = "2020it89-match-ejnw"  # two weeks, four observers
 CUSUM_BATCH_SIZES = (16, 64, 256, 1024)
+DISPATCH_BATCH_SIZES = (64, 256, 1024)
+DISPATCH_TASKS = 2  # tasks per map: enough to engage the pool, cheap to run
 
 
 # ---------------------------------------------------------------------------
@@ -247,6 +256,100 @@ def measure_cusum_scaling(
     return out
 
 
+def _dispatch_tier_task(task: dict[str, Any]) -> np.ndarray:
+    """The dispatch-tier bench job: row sums over one shipped matrix.
+
+    Deliberately trivial compute — the section measures the *dispatch*
+    plane (pickle vs shared-memory array handoff), so the kernel must
+    not dominate.  Module-level so both pool executors can pickle it.
+    """
+    return np.nansum(task["values"], axis=1) + float(task["tag"])
+
+
+def measure_dispatch_tiers(
+    batch_sizes: Sequence[int] = DISPATCH_BATCH_SIZES,
+) -> dict[str, dict[str, float]]:
+    """Pickle-vs-shared-memory dispatch cost across matrix batch sizes.
+
+    For each B the same ``(B, n)`` count matrix rides inside
+    ``DISPATCH_TASKS`` tasks through a :class:`ParallelExecutor` (full
+    array pickles) and a :class:`SharedMemoryExecutor` (descriptors +
+    one shm publication), after a warm-up map so the persistent pool's
+    spawn does not land in the timing.  Records what each tier actually
+    shipped — ``pickle_task_bytes`` vs ``shm_task_bytes`` (+
+    ``shm_bytes`` published out-of-band) — and blocks/sec per tier;
+    results are asserted byte-identical before anything is recorded.
+    Keyed by B, like :func:`measure_cusum_scaling`.
+    """
+    from .runtime.executors import ParallelExecutor, SharedMemoryExecutor
+
+    out: dict[str, dict[str, float]] = {}
+    # the pickle path's task-byte measurement is accounting-gated
+    saved = os.environ.get("REPRO_PAYLOAD_ACCOUNTING")
+    os.environ["REPRO_PAYLOAD_ACCOUNTING"] = "1"
+    try:
+        for b in batch_sizes:
+            _, matrix = count_matrix_fixture(b)
+            tasks = [
+                {"values": matrix.values, "tag": i} for i in range(DISPATCH_TASKS)
+            ]
+            expected = [_dispatch_tier_task(t) for t in tasks]
+
+            tiers: dict[str, tuple[Any, dict[str, float]]] = {}
+            for tier, executor in (
+                ("pickle", ParallelExecutor(workers=2)),
+                ("shm", SharedMemoryExecutor(workers=2)),
+            ):
+                executor.map(_dispatch_tier_task, tasks)  # warm-up (spawns)
+                before = dict(executor.payload)
+                t0 = time.perf_counter()
+                results = executor.map(_dispatch_tier_task, tasks)
+                wall_s = time.perf_counter() - t0
+                delta = {
+                    k: executor.payload.get(k, 0) - before.get(k, 0)
+                    for k in executor.payload
+                }
+                if executor.fallback_reason is not None or delta.get("maps") != 1:
+                    raise RuntimeError(
+                        f"dispatch_tiers[{tier}] B={b} did not dispatch through "
+                        f"the pool: {executor.fallback_reason!r}"
+                    )
+                for got, want in zip(results, expected):
+                    assert pickle.dumps(got) == pickle.dumps(want)
+                tiers[tier] = (delta, {"wall_s": wall_s})
+                closer = getattr(executor, "close", None)
+                if callable(closer):
+                    closer()
+
+            pickle_delta, pickle_t = tiers["pickle"]
+            shm_delta, shm_t = tiers["shm"]
+            n_blocks = b * DISPATCH_TASKS
+            out[str(b)] = {
+                "pickle_task_bytes": float(pickle_delta["task_bytes"]),
+                "shm_task_bytes": float(shm_delta["task_bytes"]),
+                "shm_bytes": float(shm_delta.get("shm_bytes", 0)),
+                "task_bytes_ratio": (
+                    pickle_delta["task_bytes"] / shm_delta["task_bytes"]
+                    if shm_delta["task_bytes"]
+                    else 0.0
+                ),
+                "pickle_wall_s": pickle_t["wall_s"],
+                "shm_wall_s": shm_t["wall_s"],
+                "blocks_per_sec_pickle": (
+                    n_blocks / pickle_t["wall_s"] if pickle_t["wall_s"] > 0 else 0.0
+                ),
+                "blocks_per_sec_shm": (
+                    n_blocks / shm_t["wall_s"] if shm_t["wall_s"] > 0 else 0.0
+                ),
+            }
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_PAYLOAD_ACCOUNTING", None)
+        else:
+            os.environ["REPRO_PAYLOAD_ACCOUNTING"] = saved
+    return out
+
+
 def measure_engine(n_blocks: int | None = None) -> dict[str, float | int]:
     """Serial whole-world analysis throughput (blocks/sec at scale)."""
     from .datasets.builder import DatasetBuilder
@@ -272,6 +375,7 @@ def run_sections(sections: Iterable[str]) -> dict[str, Any]:
         "kernels": measure_kernels,
         "batched": measure_batched_kernels,
         "cusum_rows_scaling": measure_cusum_scaling,
+        "dispatch_tiers": measure_dispatch_tiers,
         "engine": measure_engine,
     }
     out: dict[str, Any] = {}

@@ -8,6 +8,7 @@
     repro export [directory]   # write campaign results as CSV/GeoJSON (S2.9)
     REPRO_SCALE=200 repro fig8 # scale the simulated world down/up
     repro --workers 4 table2   # fan block analysis out over 4 processes
+    repro --workers 4 --shm fig3 # zero-copy shared-memory dispatch tier
     repro --cache .cache fig3  # reuse per-block results across invocations
     repro --metrics fig3       # print per-stage engine instrumentation
     repro --trace out/ fig3    # also write spans.jsonl/metrics.jsonl/run.json
@@ -85,6 +86,18 @@ def _build_parser() -> argparse.ArgumentParser:
             "columnar batched dispatch of the analysis tail (sets "
             "REPRO_BATCHED; on by default, results are identical either "
             "way — use --no-batched to force per-block dispatch)"
+        ),
+    )
+    parser.add_argument(
+        "--shm",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "zero-copy shared-memory dispatch (sets REPRO_SHM; off by "
+            "default, needs --workers > 1): arrays are published once "
+            "into shm segments and workers attach read-only views, with "
+            "one persistent pool reused across dispatches — results are "
+            "byte-identical to every other path"
         ),
     )
     parser.add_argument(
@@ -235,6 +248,12 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_CACHE"] = args.cache
     if args.batched is not None:
         os.environ["REPRO_BATCHED"] = "1" if args.batched else "0"
+    if args.shm is not None:
+        os.environ["REPRO_SHM"] = "1" if args.shm else "0"
+    if args.metrics or args.trace is not None:
+        # these runs print/persist the pool payload section, so turn the
+        # (re-pickling) payload accounting on unless explicitly set
+        os.environ.setdefault("REPRO_PAYLOAD_ACCOUNTING", "1")
     if args.progress is not None:
         os.environ["REPRO_PROGRESS"] = args.progress
     if os.environ.get("REPRO_PROGRESS"):

@@ -15,7 +15,16 @@ dispatch convention — ``BlockAnalysisJob``, ``BatchTailJob``,
   or ``self.x = lambda ...``);
 * a function nested inside a method (``def helper(): ...`` then
   ``self.x = helper``);
-* an open handle (``self.x = open(...)``).
+* an open handle (``self.x = open(...)``);
+* a live shared-memory resource: a ``SharedMemory(...)`` handle, a
+  ``memoryview(...)``, or a segment buffer (``self.x = seg.buf``).
+
+The shared-memory cases exist for the shm dispatch tier
+(:mod:`repro.runtime.shm`): a job must carry only plain-data
+*descriptors* (:class:`~repro.runtime.shm.ArrayDescriptor`) across the
+pool — live handles and buffer views are process-local, pickle either
+not at all or into something that no longer aliases the segment, and
+would tie a task's lifetime to a mapping the parent is about to unlink.
 
 ``field(default_factory=...)`` is fine — the factory runs at init time
 and only its *result* is stored.
@@ -73,6 +82,17 @@ def _field_default_violations(cls: ast.ClassDef, path: str) -> list[Violation]:
     return out
 
 
+def _call_name(call: ast.Call) -> str | None:
+    """Trailing name of a call target: ``open`` for both ``open(...)``
+    and ``io.open(...)`` — attribute chains match on the last segment."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
 def _method_violations(cls: ast.ClassDef, path: str) -> list[Violation]:
     out = []
     for method in cls.body:
@@ -98,12 +118,14 @@ def _method_violations(cls: ast.ClassDef, path: str) -> list[Violation]:
                     problem = "a lambda"
                 elif isinstance(value, ast.Name) and value.id in nested:
                     problem = f"nested function {value.id!r}"
-                elif (
-                    isinstance(value, ast.Call)
-                    and isinstance(value.func, ast.Name)
-                    and value.func.id == "open"
-                ):
+                elif isinstance(value, ast.Call) and _call_name(value) == "open":
                     problem = "an open file handle"
+                elif isinstance(value, ast.Call) and _call_name(value) == "SharedMemory":
+                    problem = "a live SharedMemory handle"
+                elif isinstance(value, ast.Call) and _call_name(value) == "memoryview":
+                    problem = "a memoryview"
+                elif isinstance(value, ast.Attribute) and value.attr == "buf":
+                    problem = "a shared-memory buffer ('.buf')"
                 else:
                     continue
                 out.append(
@@ -124,8 +146,10 @@ def _method_violations(cls: ast.ClassDef, path: str) -> list[Violation]:
 @register(
     "REP003",
     "picklability",
-    "*Job classes may not capture lambdas, nested functions, or open "
-    "handles in their attributes",
+    "*Job classes may not capture lambdas, nested functions, open "
+    "handles, or live shared-memory resources (SharedMemory handles, "
+    "memoryviews, segment buffers) in their attributes — shm crosses "
+    "the pool as descriptors only",
 )
 def check(ctx) -> list[Violation]:
     violations = []

@@ -39,7 +39,9 @@ METRICS = frozenset(
         "executor.chunk_size",
         "executor.fallbacks",
         "executor.payload.result_bytes",
+        "executor.payload.shm_bytes",
         "executor.payload.task_bytes",
+        "executor.pool_spawns",
         "executor.pool_workers",
         "resources.cpu_s",
         "resources.rss_peak_bytes",

@@ -6,7 +6,9 @@ seam through which the repo drives that map:
 
 * :class:`~repro.runtime.executors.Executor` — the pluggable mapping
   strategy (:class:`SerialExecutor`, process-pool
-  :class:`ParallelExecutor` with chunked dispatch and serial fallback);
+  :class:`ParallelExecutor` with chunked dispatch and serial fallback,
+  and the zero-copy :class:`SharedMemoryExecutor` — a persistent pool
+  fed by :mod:`~repro.runtime.shm` array descriptors);
 * :class:`~repro.runtime.engine.CampaignEngine` — runs an iterable of
   block tasks through an executor and aggregates per-stage
   :class:`~repro.core.stages.StageRecord` instrumentation into
@@ -32,11 +34,18 @@ from .engine import (
     drain_run_log,
     peek_run_log,
 )
-from .executors import Executor, ParallelExecutor, SerialExecutor
+from .executors import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    SharedMemoryExecutor,
+)
 from .jobs import BatchTailJob, BlockAnalysisJob, BlockReconstructJob, ReconstructedBlock
+from .shm import ArrayDescriptor, SharedArrayPool
 
 __all__ = [
     "AnalysisCache",
+    "ArrayDescriptor",
     "BatchTailJob",
     "BlockAnalysisJob",
     "BlockReconstructJob",
@@ -49,6 +58,8 @@ __all__ = [
     "ReconstructedBlock",
     "RunMetrics",
     "SerialExecutor",
+    "SharedArrayPool",
+    "SharedMemoryExecutor",
     "ShippedResult",
     "StageTotals",
     "TracedCall",

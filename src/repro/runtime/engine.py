@@ -28,7 +28,12 @@ from ..obs.progress import get_progress
 from ..obs.resources import ResourceTracker, cpu_seconds, format_bytes, peak_rss_bytes
 from ..obs.trace import NoopTracer, SpanRecord, Tracer, get_tracer, use_tracer
 from .cache import AnalysisCache, default_cache
-from .executors import Executor, ParallelExecutor, SerialExecutor
+from .executors import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    SharedMemoryExecutor,
+)
 
 __all__ = [
     "BlockResult",
@@ -292,11 +297,14 @@ class RunMetrics:
                 )
             pool = res.get("pool")
             if pool:
-                lines.append(
+                line = (
                     f"  pool: {format_bytes(pool.get('task_bytes', 0))} payload out, "
                     f"{format_bytes(pool.get('result_bytes', 0))} results back "
                     f"over {pool.get('maps', 0)} dispatches"
                 )
+                if "shm_bytes" in pool:
+                    line += f", {format_bytes(pool.get('shm_bytes', 0))} via shm"
+                lines.append(line)
             workers = res.get("workers")
             if workers:
                 lines.append(
@@ -365,6 +373,32 @@ def _resolve_batched(value: bool | None) -> bool:
     return True
 
 
+def _resolve_shm(value: bool | None) -> bool:
+    """Resolve the shared-memory dispatch setting (``REPRO_SHM`` when None).
+
+    Unset or empty means **off** — the shm tier is opt-in (``--shm``)
+    while the pickle path remains the battle-tested default.  Garbage
+    values warn and keep the default rather than silently changing
+    execution.
+    """
+    if value is not None:
+        return bool(value)
+    raw = os.environ.get("REPRO_SHM", "").strip()
+    if not raw:
+        return False
+    lowered = raw.lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    warnings.warn(
+        f"REPRO_SHM={raw!r} is not a boolean; shm dispatch stays off",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return False
+
+
 #: Bounded history of recent runs, drained by ``repro --metrics``.
 _RUN_LOG: deque[RunMetrics] = deque(maxlen=64)
 
@@ -403,6 +437,23 @@ class CampaignEngine:
         self.cache = cache
         self.batched = _resolve_batched(batched)
         self.history: list[RunMetrics] = []
+
+    def close(self) -> None:
+        """Release executor-held resources (idempotent).
+
+        Only the shm tier holds any: its persistent worker pool lives
+        until this call (or GC).  Serial/parallel engines close to a
+        no-op, so generic callers may always use the context manager.
+        """
+        closer = getattr(self.executor, "close", None)
+        if callable(closer):
+            closer()
+
+    def __enter__(self) -> "CampaignEngine":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
 
     def run(
         self,
@@ -659,11 +710,15 @@ class CampaignEngine:
                 for k in payload_after
             }
             if delta.get("maps", 0) > 0:
-                res["pool"] = {
+                pool_delta = {
+                    "fn_bytes": delta.get("fn_bytes", 0),
                     "task_bytes": delta.get("task_bytes", 0),
                     "result_bytes": delta.get("result_bytes", 0),
                     "maps": delta.get("maps", 0),
                 }
+                if "shm_bytes" in delta:  # the shm tier's published bytes
+                    pool_delta["shm_bytes"] = delta.get("shm_bytes", 0)
+                res["pool"] = pool_delta
         if meters is not None:
             workers: dict[str, Any] = {}
             cpu = meters.get("resources.worker.cpu_s")
@@ -827,6 +882,12 @@ def default_engine() -> CampaignEngine:
 
     ``REPRO_CACHE=DIR`` (the CLI's ``--cache DIR``) additionally attaches
     the content-addressed analysis cache rooted at that directory.
+
+    ``REPRO_SHM`` (the CLI's ``--shm``) upgrades a multi-worker pool to
+    the zero-copy shared-memory tier (one persistent pool per engine,
+    descriptors instead of array pickles).  It needs ``workers > 1`` to
+    mean anything; with a serial worker count the flag warns and the
+    engine stays serial.
     """
     raw = os.environ.get("REPRO_WORKERS", "").strip()
     workers = 1
@@ -848,6 +909,16 @@ def default_engine() -> CampaignEngine:
             )
             workers = 1
     cache = default_cache()
+    use_shm = _resolve_shm(None)
     if workers <= 1:
+        if use_shm:
+            warnings.warn(
+                "REPRO_SHM requested but REPRO_WORKERS <= 1; "
+                "shared-memory dispatch needs a pool — running serial",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return CampaignEngine(SerialExecutor(), cache)
+    if use_shm:
+        return CampaignEngine(SharedMemoryExecutor(workers=workers), cache)
     return CampaignEngine(ParallelExecutor(workers=workers), cache)

@@ -4,34 +4,67 @@ The executor contract is a single method::
 
     map(fn, tasks, on_result=None) -> list   # results in task order
 
-``fn`` must be picklable for the parallel executor (the repo's jobs are
+``fn`` must be picklable for the pool executors (the repo's jobs are
 frozen dataclasses with ``__call__`` — see :mod:`repro.runtime.jobs`),
-and both executors must return *identical* results for a deterministic
-``fn``: the parallel path only changes wall-clock, never values.
+and every executor must return *identical* results for a deterministic
+``fn``: the parallel and shared-memory paths only change wall-clock,
+never values.
 
 ``on_result`` is an optional observation hook invoked once per completed
 result, in task order, as results stream in — the engine uses it to
 drive the live progress heartbeat.  Hooks must not mutate results.
 
-When a real pool runs, the parallel executor also accounts the pickle
-payload it ships: callable + task bytes out, result bytes back
-(re-pickled for measurement, so the numbers are close approximations of
-what the pool moved, not exact wire counts).  Totals accumulate on
-``ParallelExecutor.payload`` and in the ``executor.payload.*`` counters;
+Three executors ship:
+
+* :class:`SerialExecutor` — in-process reference semantics;
+* :class:`ParallelExecutor` — a process pool spawned per ``map()``,
+  shipping pickled tasks and results (chunked dispatch, serial
+  fallback);
+* :class:`SharedMemoryExecutor` — the zero-copy tier: one **persistent**
+  pool reused across ``map()`` calls, with large task arrays published
+  once into ``multiprocessing.shared_memory`` segments and only small
+  descriptors pickled across (see :mod:`repro.runtime.shm`).
+
+Payload accounting: when a real pool dispatches, the executors account
+the bytes they moved — callable + task bytes out, result bytes back.
+For the pickle path those numbers require *re*-pickling everything, so
+they are gated behind :func:`payload_accounting_enabled`
+(``REPRO_PAYLOAD_ACCOUNTING``; auto mode turns accounting on only for
+traced runs — the CLI also sets it for ``--metrics``/``--trace``).  The
+shm path's task and shm byte counts fall out of dispatch for free and
+are always recorded; only its result re-pickle is gated.  Totals
+accumulate on ``.payload`` and in the ``executor.payload.*`` counters;
 the engine reports the per-run delta under ``RunMetrics.resources``.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Protocol, runtime_checkable
 
 from ..obs.metrics import get_registry
+from .shm import (
+    ArrayDescriptor,
+    SharedArrayPool,
+    attach_bytes,
+    resolve_min_shm_bytes,
+    shm_dumps,
+    shm_loads,
+)
 
-__all__ = ["Executor", "ParallelExecutor", "SerialExecutor"]
+__all__ = [
+    "Executor",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "SharedMemoryExecutor",
+    "payload_accounting_enabled",
+]
 
 #: Signature of the per-result observation hook.
 OnResult = Callable[[Any], None]
@@ -49,6 +82,27 @@ class Executor(Protocol):
         tasks: Iterable[Any],
         on_result: OnResult | None = None,
     ) -> list[Any]: ...
+
+
+def payload_accounting_enabled() -> bool:
+    """Resolve the payload-accounting gate (``REPRO_PAYLOAD_ACCOUNTING``).
+
+    Measuring the pickle path's payload means re-pickling the callable,
+    every task, and every result — pure overhead when nobody reads the
+    numbers.  Explicit ``1``/``0`` wins; unset means *auto*: on when the
+    ambient tracer is recording (the run is shipping telemetry anyway),
+    off otherwise.  The CLI sets the variable for ``--metrics`` and
+    ``--trace`` runs so their reports keep the pool payload section.
+    Accounting never changes results, only whether bytes are counted.
+    """
+    raw = os.environ.get("REPRO_PAYLOAD_ACCOUNTING", "").strip().lower()
+    if raw in ("1", "true", "yes", "on"):
+        return True
+    if raw in ("0", "false", "no", "off"):
+        return False
+    from ..obs.trace import get_tracer
+
+    return bool(get_tracer().enabled)
 
 
 def _run_serial(
@@ -106,7 +160,11 @@ class ParallelExecutor:
         self.chunk_size = chunk_size
         self.fallback_reason: str | None = None
         #: Cumulative pool payload accounting (bytes re-pickled for
-        #: measurement; only counted when a real pool dispatched).
+        #: measurement; only counted when a real pool dispatched and
+        #: :func:`payload_accounting_enabled` says so).  Each byte is
+        #: counted exactly once: ``fn_bytes`` is the pickled callable,
+        #: ``task_bytes`` the pickled tasks, ``result_bytes`` the
+        #: pickled results — their sum is the total payload moved.
         self.payload: dict[str, int] = {
             "fn_bytes": 0,
             "task_bytes": 0,
@@ -132,6 +190,7 @@ class ParallelExecutor:
         n_workers = min(self.workers, len(tasks))
         chunk = self.chunk_size or max(1, -(-len(tasks) // (n_workers * 4)))
         registry = get_registry()
+        accounting = payload_accounting_enabled()
         try:
             pool = ProcessPoolExecutor(max_workers=n_workers)
         except (OSError, ValueError, RuntimeError) as exc:
@@ -142,24 +201,33 @@ class ParallelExecutor:
         # before the spawn would report a pool that fell back to serial
         registry.gauge("executor.pool_workers").set(n_workers)
         registry.gauge("executor.chunk_size").set(chunk)
+        registry.counter("executor.pool_spawns").inc()
         try:
             with pool:
                 proto = pickle.HIGHEST_PROTOCOL
-                fn_bytes = len(pickle.dumps(fn, protocol=proto))
-                task_bytes = sum(len(pickle.dumps(t, protocol=proto)) for t in tasks)
+                fn_bytes = task_bytes = 0
+                if accounting:
+                    fn_bytes = len(pickle.dumps(fn, protocol=proto))
+                    task_bytes = sum(
+                        len(pickle.dumps(t, protocol=proto)) for t in tasks
+                    )
                 results = []
                 result_bytes = 0
                 for result in pool.map(fn, tasks, chunksize=chunk):
-                    result_bytes += len(pickle.dumps(result, protocol=proto))
+                    if accounting:
+                        result_bytes += len(pickle.dumps(result, protocol=proto))
                     if on_result is not None:
                         on_result(result)
                     results.append(result)
-                self.payload["fn_bytes"] += fn_bytes
-                self.payload["task_bytes"] += fn_bytes + task_bytes
-                self.payload["result_bytes"] += result_bytes
                 self.payload["maps"] += 1
-                registry.counter("executor.payload.task_bytes").inc(fn_bytes + task_bytes)
-                registry.counter("executor.payload.result_bytes").inc(result_bytes)
+                if accounting:
+                    self.payload["fn_bytes"] += fn_bytes
+                    self.payload["task_bytes"] += task_bytes
+                    self.payload["result_bytes"] += result_bytes
+                    registry.counter("executor.payload.task_bytes").inc(
+                        fn_bytes + task_bytes
+                    )
+                    registry.counter("executor.payload.result_bytes").inc(result_bytes)
                 return results
         except (BrokenProcessPool, pickle.PicklingError, OSError) as exc:
             # Pool infrastructure failure (not a task error): rerun
@@ -171,3 +239,220 @@ class ParallelExecutor:
 
     def __repr__(self) -> str:
         return f"ParallelExecutor(workers={self.workers}, chunk_size={self.chunk_size})"
+
+
+# ---------------------------------------------------------------------------
+# shared-memory tier
+# ---------------------------------------------------------------------------
+#: Worker-side cache of unpickled callables, keyed by payload digest.
+#: A persistent pool sees the same (large) job callable on every chunk
+#: of every map; unpickling it once per worker instead of once per
+#: chunk is part of the shm tier's win.  Bounded: jobs are few.
+_FN_CACHE: dict[str, Callable[[Any], Any]] = {}
+_FN_CACHE_CAP = 8
+
+
+def _load_fn(desc: ArrayDescriptor, digest: str) -> Callable[[Any], Any]:
+    fn = _FN_CACHE.get(digest)
+    if fn is None:
+        fn = shm_loads(attach_bytes(desc))
+        while len(_FN_CACHE) >= _FN_CACHE_CAP:
+            _FN_CACHE.pop(next(iter(_FN_CACHE)))
+        _FN_CACHE[digest] = fn
+    return fn
+
+
+@dataclass(frozen=True)
+class _ShmCall:
+    """Tiny picklable chunk envelope of the shm tier.
+
+    Carries only the callable's shm descriptor + digest; each task
+    arrives as a pre-pickled payload whose large arrays resolve to
+    zero-copy segment views (:func:`repro.runtime.shm.shm_loads`).
+    """
+
+    fn_desc: ArrayDescriptor
+    fn_digest: str
+
+    def __call__(self, payload: bytes) -> Any:
+        fn = _load_fn(self.fn_desc, self.fn_digest)
+        return fn(shm_loads(payload))
+
+
+def _shutdown_pool(pool_box: list[ProcessPoolExecutor]) -> None:
+    """Finalizer target: shut down whatever pool the box still holds."""
+    while pool_box:
+        pool_box.pop().shutdown(wait=False, cancel_futures=True)
+
+
+class SharedMemoryExecutor:
+    """Zero-copy dispatch: persistent pool + shared-memory array handoff.
+
+    Differences from :class:`ParallelExecutor`:
+
+    * the process pool is spawned **once**, lazily, and reused by every
+      subsequent ``map()`` until :meth:`close` (an engine run's phase-A
+      and phase-B maps — and any number of runs — share one spawn);
+    * tasks are pickled with :func:`repro.runtime.shm.shm_dumps`: large
+      arrays are published once into shm segments and only small
+      descriptors cross the pipe, so task payload shrinks by the array
+      bytes (the ``executor.payload.shm_bytes`` counter makes the
+      difference visible);
+    * the callable is pickled once per map into a shm blob; workers
+      unpickle and cache it by digest instead of once per chunk.
+
+    Results come back plain-pickled — the repo's jobs return compact
+    result structs, which is the cheap direction.  Results are
+    byte-identical to every other executor: attached views carry the
+    same values, shapes, and interned dtypes as unpickled arrays would.
+
+    Lifecycle: segments published for one map are unlinked in a
+    ``finally`` as soon as that map completes, raises, or falls back;
+    :meth:`close` (also the context-manager exit and a GC finalizer)
+    shuts the pool down.  No exit path leaves a named segment behind.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        min_shm_bytes: int | None = None,
+    ) -> None:
+        self.workers = os.cpu_count() or 1 if workers is None else int(workers)
+        self.chunk_size = chunk_size
+        self.min_shm_bytes = (
+            resolve_min_shm_bytes() if min_shm_bytes is None else int(min_shm_bytes)
+        )
+        self.fallback_reason: str | None = None
+        #: Cumulative payload accounting.  ``task_bytes`` is what
+        #: actually crossed the pipe (descriptor-carrying pickles —
+        #: measured for free, no re-pickle); ``shm_bytes`` the array +
+        #: callable bytes published to segments; ``result_bytes`` the
+        #: re-pickled results (gated on payload accounting).
+        self.payload: dict[str, int] = {
+            "fn_bytes": 0,
+            "task_bytes": 0,
+            "result_bytes": 0,
+            "shm_bytes": 0,
+            "maps": 0,
+            "pool_spawns": 0,
+        }
+        #: Segment names created by the most recent ``map`` (released by
+        #: the time ``map`` returns; kept for tests and debugging).
+        self.last_segments: list[str] = []
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_box: list[ProcessPoolExecutor] = []
+        self._finalizer = weakref.finalize(self, _shutdown_pool, self._pool_box)
+
+    @property
+    def name(self) -> str:
+        return f"shm[{self.workers}]"
+
+    # -- pool lifecycle ----------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor | None:
+        """The persistent pool, spawning it on first use; None on failure."""
+        if self._pool is not None:
+            return self._pool
+        registry = get_registry()
+        try:
+            pool = ProcessPoolExecutor(max_workers=self.workers)
+        except (OSError, ValueError, RuntimeError) as exc:
+            self.fallback_reason = f"pool spawn failed: {type(exc).__name__}: {exc}"
+            registry.counter("executor.fallbacks").inc()
+            return None
+        self._pool = pool
+        self._pool_box.append(pool)
+        self.payload["pool_spawns"] += 1
+        registry.gauge("executor.pool_workers").set(self.workers)
+        registry.counter("executor.pool_spawns").inc()
+        return pool
+
+    def _teardown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            self._pool_box.clear()
+
+    def close(self) -> None:
+        """Shut down the persistent pool (idempotent)."""
+        self._teardown_pool()
+
+    def __enter__(self) -> "SharedMemoryExecutor":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- dispatch ----------------------------------------------------------
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Iterable[Any],
+        on_result: OnResult | None = None,
+    ) -> list[Any]:
+        tasks = list(tasks)
+        self.fallback_reason = None
+        if self.workers <= 1 or len(tasks) <= 1:
+            return _run_serial(fn, tasks, on_result)
+        pool = self._ensure_pool()
+        if pool is None:
+            return _run_serial(fn, tasks, on_result)
+
+        n_active = min(self.workers, len(tasks))
+        chunk = self.chunk_size or max(1, -(-len(tasks) // (n_active * 4)))
+        registry = get_registry()
+        registry.gauge("executor.chunk_size").set(chunk)
+        accounting = payload_accounting_enabled()
+        arrays = SharedArrayPool()
+        try:
+            fn_payload = shm_dumps(fn, arrays, self.min_shm_bytes)
+            call = _ShmCall(
+                fn_desc=arrays.publish_bytes(fn_payload),
+                fn_digest=hashlib.sha256(fn_payload).hexdigest(),
+            )
+            packed = [shm_dumps(t, arrays, self.min_shm_bytes) for t in tasks]
+            self.last_segments = list(arrays.created)
+            results = []
+            result_bytes = 0
+            for result in pool.map(call, packed, chunksize=chunk):
+                if accounting:
+                    result_bytes += len(
+                        pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+                    )
+                if on_result is not None:
+                    on_result(result)
+                results.append(result)
+            # task/shm bytes fall out of dispatch for free: record always
+            task_bytes = sum(len(p) for p in packed)
+            self.payload["fn_bytes"] += len(fn_payload)
+            self.payload["task_bytes"] += task_bytes
+            self.payload["shm_bytes"] += arrays.published_bytes
+            self.payload["result_bytes"] += result_bytes
+            self.payload["maps"] += 1
+            registry.counter("executor.payload.task_bytes").inc(
+                len(fn_payload) + task_bytes
+            )
+            registry.counter("executor.payload.shm_bytes").inc(
+                arrays.published_bytes
+            )
+            if accounting:
+                registry.counter("executor.payload.result_bytes").inc(result_bytes)
+            return results
+        except (BrokenProcessPool, pickle.PicklingError, OSError) as exc:
+            # Pool infrastructure failure: the persistent pool is no
+            # longer trustworthy — tear it down (a later map may respawn)
+            # and rerun everything in-process so no block is lost.
+            self.fallback_reason = f"pool failed: {type(exc).__name__}: {exc}"
+            registry.counter("executor.fallbacks").inc()
+            self._teardown_pool()
+            return _run_serial(fn, tasks, on_result)
+        finally:
+            # every exit path — success, task exception, pool failure —
+            # unlinks this map's segments; workers only ever attach
+            arrays.release()
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedMemoryExecutor(workers={self.workers}, "
+            f"chunk_size={self.chunk_size}, min_shm_bytes={self.min_shm_bytes})"
+        )

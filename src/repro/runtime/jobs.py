@@ -14,6 +14,17 @@ that fans out per block (simulation dominates and does not batch) and a
 :class:`BatchTailJob` that runs the analysis tail — classify, trend,
 detect — over a whole chunk of reconstructions at once through the
 batched columnar kernels.
+
+Jobs are transport-agnostic: under the shared-memory tier
+(:class:`~repro.runtime.executors.SharedMemoryExecutor`) the large
+arrays inside a task — a tail chunk's reconstruction series, notably —
+arrive as read-only zero-copy views attached from shm segments instead
+of unpickled copies.  That is safe precisely because jobs only ever
+*read* their inputs (every kernel copies before mutating), and it is
+why lint REP003 forbids ``*Job`` classes from capturing live
+``SharedMemory`` handles or memoryviews: a job may carry only plain
+data and :class:`~repro.runtime.shm.ArrayDescriptor`-style records, so
+the same pickled job works on every executor.
 """
 
 from __future__ import annotations

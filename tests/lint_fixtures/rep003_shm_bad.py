@@ -1,0 +1,11 @@
+# REP003 violations: a dispatched job capturing live shared-memory state.
+from multiprocessing import shared_memory
+from multiprocessing.shared_memory import SharedMemory
+
+
+class ShmHoardingJob:
+    def __init__(self, name):
+        self.seg = SharedMemory(name=name)  # live handle attribute
+        self.raw = shared_memory.SharedMemory(name=name)  # dotted form too
+        self.view = memoryview(b"payload")  # memoryview attribute
+        self.buf = self.seg.buf  # segment buffer attribute

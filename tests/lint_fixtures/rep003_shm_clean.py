@@ -1,0 +1,14 @@
+# REP003 clean: a job carrying only plain-data shm descriptors.
+from dataclasses import dataclass
+
+from repro.runtime.shm import ArrayDescriptor, attach_view
+
+
+@dataclass(frozen=True)
+class DescriptorTailJob:
+    desc: ArrayDescriptor  # name/shape/dtype/offset record: plain data
+    scale: float = 1.0
+
+    def __call__(self, _task):
+        view = attach_view(self.desc)  # attached per call, never stored
+        return float(view.sum()) * self.scale

@@ -30,6 +30,11 @@ from repro.runtime import CampaignEngine, ParallelExecutor, SerialExecutor
 DATASET = "2020it89-match-ejnw"  # two weeks, four observers: cheap but real
 
 
+def _square(x: int) -> int:
+    """Module-level so the pool executors can pickle it."""
+    return x * x
+
+
 @pytest.fixture(scope="module")
 def world40() -> WorldModel:
     """A small-but-real world: enough blocks for a genuine pool dispatch."""
@@ -99,7 +104,10 @@ class TestEngineResourceAccounting:
         assert "resources:" in report
         assert "cpu_s" in report and "rss+" in report  # per-stage columns
 
-    def test_parallel_run_reports_pool_payload(self, world40):
+    def test_parallel_run_reports_pool_payload(self, world40, monkeypatch):
+        # payload measurement re-pickles, so it is opt-in (the CLI opts
+        # --metrics/--trace runs in automatically)
+        monkeypatch.setenv("REPRO_PAYLOAD_ACCOUNTING", "1")
         engine = CampaignEngine(ParallelExecutor(workers=2))
         result = DatasetBuilder(world40).analyze(DATASET, engine=engine)
         assert engine.executor.fallback_reason is None
@@ -107,10 +115,70 @@ class TestEngineResourceAccounting:
         assert res is not None
         pool = res.get("pool")
         assert pool is not None
+        assert pool["fn_bytes"] > 0
         assert pool["task_bytes"] > 0
         assert pool["result_bytes"] > 0
         assert pool["maps"] >= 1
         assert "pool:" in result.metrics.report()
+
+    def test_payload_counts_each_byte_exactly_once(self, monkeypatch):
+        """Satellite regression: fn/task/result bytes equal the sum of
+        individually measured pickles — no double-counted fn bytes."""
+        import pickle
+
+        monkeypatch.setenv("REPRO_PAYLOAD_ACCOUNTING", "1")
+        executor = ParallelExecutor(workers=2)
+        tasks = list(range(12))
+        results = executor.map(_square, tasks)
+        assert executor.fallback_reason is None
+        assert results == [t * t for t in tasks]
+        proto = pickle.HIGHEST_PROTOCOL
+        fn_bytes = len(pickle.dumps(_square, protocol=proto))
+        task_bytes = sum(len(pickle.dumps(t, protocol=proto)) for t in tasks)
+        result_bytes = sum(len(pickle.dumps(r, protocol=proto)) for r in results)
+        assert executor.payload["fn_bytes"] == fn_bytes
+        assert executor.payload["task_bytes"] == task_bytes
+        assert executor.payload["result_bytes"] == result_bytes
+        assert (
+            executor.payload["fn_bytes"]
+            + executor.payload["task_bytes"]
+            + executor.payload["result_bytes"]
+            == fn_bytes + task_bytes + result_bytes
+        )
+
+    def test_payload_accounting_gate_resolution(self, monkeypatch):
+        from repro.runtime.executors import payload_accounting_enabled
+
+        monkeypatch.setenv("REPRO_PAYLOAD_ACCOUNTING", "1")
+        assert payload_accounting_enabled() is True
+        monkeypatch.setenv("REPRO_PAYLOAD_ACCOUNTING", "off")
+        assert payload_accounting_enabled() is False
+        # unset = auto: on only when the ambient tracer is recording
+        monkeypatch.delenv("REPRO_PAYLOAD_ACCOUNTING", raising=False)
+        assert payload_accounting_enabled() is False
+        from repro.obs.trace import Tracer, use_tracer
+
+        with use_tracer(Tracer()):
+            assert payload_accounting_enabled() is True
+
+    def test_accounting_off_skips_measurement_keeps_results(self, monkeypatch):
+        import pickle
+
+        tasks = list(range(12))
+        monkeypatch.setenv("REPRO_PAYLOAD_ACCOUNTING", "0")
+        off = ParallelExecutor(workers=2)
+        results_off = off.map(_square, tasks)
+        assert off.fallback_reason is None
+        assert off.payload["fn_bytes"] == 0
+        assert off.payload["task_bytes"] == 0
+        assert off.payload["result_bytes"] == 0
+        assert off.payload["maps"] == 1  # the dispatch itself still counts
+        monkeypatch.setenv("REPRO_PAYLOAD_ACCOUNTING", "1")
+        on = ParallelExecutor(workers=2)
+        results_on = on.map(_square, tasks)
+        assert on.fallback_reason is None
+        assert on.payload["task_bytes"] > 0
+        assert pickle.dumps(results_off) == pickle.dumps(results_on)
 
     def test_traced_run_reports_worker_resources(self, world40):
         from repro.obs.trace import Tracer, use_tracer
