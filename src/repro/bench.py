@@ -19,13 +19,21 @@ byte-identity against its scalar oracle before timing lands in the
 artifact — a speedup over a kernel that disagrees is meaningless.
 
 ``measure_cusum_scaling`` exists because the trajectory's first real
-question was "why is ``cusum_rows`` only ~1.2x batched?": sweeping
-B ∈ {16, 64, 256, 1024} shows the speedup is flat in B, because
-``detect_cusum_batch`` only hoists NaN forward-fill across rows and
-then runs the (already vectorized, O(n) bandwidth-bound) per-row
-segmented-cumsum passes in a Python loop whose alarm structure differs
-per row — batching amortizes call overhead, not compute.  See
-docs/algorithms.md §14.
+question was "why is ``cusum_rows`` only ~1.2x batched?".  The answer
+used to be "because ``detect_cusum_batch`` only hoisted NaN
+forward-fill and looped per-row passes"; the row-parallel
+``_cusum_pass_batch`` kernel replaced that loop (all rows' segments
+advance together as 2-D reductions, Python work is O(alarms)), and the
+sweep now shows the speedup growing with B (~1.5x at 16 to ~2x at 256+)
+instead of flat.  See docs/algorithms.md §14.
+
+``measure_scale`` extends the trajectory to out-of-core scale: a
+sharded serial engine (``--shards``) streams world sizes from
+``REPRO_BENCH_SCALES`` (default 1600, 25k, 100k blocks) and records
+blocks/sec, peak coordinator RSS, and spill volume per scale — the
+"scale" section ROADMAP item 1 asks for.  One pass per scale, no
+best-of: a 100k-block world is minutes, and the RSS bound (not the
+timing noise floor) is the headline.
 """
 
 from __future__ import annotations
@@ -59,6 +67,7 @@ __all__ = [
     "measure_dispatch_tiers",
     "measure_engine",
     "measure_kernels",
+    "measure_scale",
     "merge_latest_section",
     "quarter_block_fixture",
     "run_sections",
@@ -74,12 +83,15 @@ DEFAULT_SECTIONS = (
     "cusum_rows_scaling",
     "dispatch_tiers",
     "engine",
+    "scale",
 )
 
 QUARTER_S = 84 * 86_400.0
 BATCH_BLOCKS = 256
 ENGINE_DATASET = "2020it89-match-ejnw"  # two weeks, four observers
 CUSUM_BATCH_SIZES = (16, 64, 256, 1024)
+SCALE_SWEEP = (1_600, 25_000, 100_000)
+SCALE_SHARD_BLOCKS = 2_000  # target shard width for the scale sweep
 DISPATCH_BATCH_SIZES = (64, 256, 1024)
 DISPATCH_TASKS = 2  # tasks per map: enough to engage the pool, cheap to run
 
@@ -369,6 +381,57 @@ def measure_engine(n_blocks: int | None = None) -> dict[str, float | int]:
     }
 
 
+def _scale_sweep() -> tuple[int, ...]:
+    """Scales for ``measure_scale``: ``REPRO_BENCH_SCALES`` (comma ints)
+    overrides the default :data:`SCALE_SWEEP` so CI can run a tiny sweep."""
+    raw = os.environ.get("REPRO_BENCH_SCALES", "").strip()
+    if not raw:
+        return SCALE_SWEEP
+    try:
+        scales = tuple(int(part) for part in raw.split(",") if part.strip())
+    except ValueError:
+        return SCALE_SWEEP
+    return scales or SCALE_SWEEP
+
+
+def measure_scale(scales: "Sequence[int] | None" = None) -> dict[str, Any]:
+    """Sharded out-of-core throughput and peak RSS across world scales.
+
+    For each world size the whole ``ENGINE_DATASET`` campaign streams
+    through a sharded serial engine (~:data:`SCALE_SHARD_BLOCKS` blocks
+    per shard, at least two shards so spill/merge is always exercised)
+    and records blocks/sec, the coordinator's peak RSS, and the spill
+    volume.  One pass per scale — a 100k-block world takes minutes, and
+    the headline is the RSS bound, not the timing noise floor.  The keys
+    deliberately avoid ``vectorized_s``/``batched_s`` so the regression
+    gate (which keys off those names) ignores this section: the sweep
+    varies with ``REPRO_BENCH_SCALES`` and is not comparable run-to-run.
+    """
+    from .datasets.builder import DatasetBuilder
+    from .net.world import WorldModel, scenario_covid2020
+    from .runtime import CampaignEngine, SerialExecutor
+
+    out: dict[str, Any] = {}
+    for scale in scales if scales is not None else _scale_sweep():
+        n_blocks = int(scale)
+        n_shards = max(-(-n_blocks // SCALE_SHARD_BLOCKS), 2)
+        world = WorldModel(scenario_covid2020(), n_blocks=n_blocks, seed=11)
+        engine = CampaignEngine(SerialExecutor(), shards=n_shards)
+        result = DatasetBuilder(world).analyze(ENGINE_DATASET, engine=engine)
+        metrics = result.metrics
+        resources = metrics.resources or {}
+        shards = metrics.shards or {}
+        out[str(n_blocks)] = {
+            "n_blocks": n_blocks,
+            "n_shards": shards.get("shards", n_shards),
+            "wall_s": metrics.wall_s,
+            "blocks_per_sec": metrics.blocks_per_sec,
+            "rss_peak_bytes": resources.get("rss_peak_bytes", 0),
+            "spill_bytes": shards.get("spill_bytes", 0),
+        }
+    return out
+
+
 def run_sections(sections: Iterable[str]) -> dict[str, Any]:
     """Measure each named section; unknown names raise ``ValueError``."""
     runners: dict[str, Callable[[], Any]] = {
@@ -377,6 +440,7 @@ def run_sections(sections: Iterable[str]) -> dict[str, Any]:
         "cusum_rows_scaling": measure_cusum_scaling,
         "dispatch_tiers": measure_dispatch_tiers,
         "engine": measure_engine,
+        "scale": measure_scale,
     }
     out: dict[str, Any] = {}
     for name in sections:
@@ -577,6 +641,16 @@ def _summarise(sections: dict[str, Any]) -> list[str]:
                 f"at scale {payload.get('scale', '?')} "
                 f"({payload.get('wall_s', 0.0):.2f}s wall)"
             )
+            continue
+        if section == "scale" and isinstance(payload, dict):
+            for sub, stats in payload.items():
+                if not isinstance(stats, dict):
+                    continue
+                rss_mib = float(stats.get("rss_peak_bytes", 0)) / (1024 * 1024)
+                lines.append(
+                    f"  scale/{sub}: {stats.get('blocks_per_sec', 0.0):.1f} blocks/s, "
+                    f"{stats.get('n_shards', '?')} shards, peak RSS {rss_mib:.0f} MiB"
+                )
             continue
         if not isinstance(payload, dict):
             continue

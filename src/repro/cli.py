@@ -9,6 +9,7 @@
     REPRO_SCALE=200 repro fig8 # scale the simulated world down/up
     repro --workers 4 table2   # fan block analysis out over 4 processes
     repro --workers 4 --shm fig3 # zero-copy shared-memory dispatch tier
+    repro --shards 8 fig3      # stream 8 shards, spilling results to disk
     repro --cache .cache fig3  # reuse per-block results across invocations
     repro --metrics fig3       # print per-stage engine instrumentation
     repro --trace out/ fig3    # also write spans.jsonl/metrics.jsonl/run.json
@@ -66,6 +67,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "processes for per-block analysis (sets REPRO_WORKERS; "
             "1 = serial, the default)"
+        ),
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "stream each campaign through N contiguous block shards, "
+            "spilling completed shards to a memory-mapped on-disk layout "
+            "between them (sets REPRO_SHARDS; 1 = unsharded, the "
+            "default).  Bounds coordinator RSS for paper-scale worlds; "
+            "results are byte-identical to the unsharded run.  "
+            "REPRO_SPILL_DIR picks the spill parent directory"
         ),
     )
     parser.add_argument(
@@ -244,6 +259,8 @@ def main(argv: list[str] | None = None) -> int:
         # default_engine() reads this; one env var reaches every
         # experiment without threading an engine through each main().
         os.environ["REPRO_WORKERS"] = str(args.workers)
+    if args.shards is not None:
+        os.environ["REPRO_SHARDS"] = str(args.shards)
     if args.cache is not None:
         os.environ["REPRO_CACHE"] = args.cache
     if args.batched is not None:

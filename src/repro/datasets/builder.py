@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -34,15 +35,49 @@ from ..net.usage import ROUND_SECONDS, BlockTruth
 from ..net.world import BlockSpec, WorldModel
 from ..runtime.engine import CampaignEngine, RunMetrics, default_engine
 from ..runtime.jobs import BlockAnalysisJob
+from ..runtime.spill import SpilledResults
 from .catalog import TRINOCULAR_SITES, DatasetSpec, dataset
 
 __all__ = [
     "DatasetBuilder",
     "DatasetResult",
     "FunnelCounts",
+    "SpilledAnalyses",
     "block_record",
     "unresponsive_analysis",
 ]
+
+
+class SpilledAnalyses(Mapping[str, BlockAnalysis]):
+    """Lazy cidr → :class:`BlockAnalysis` view over spilled engine results.
+
+    A sharded :meth:`DatasetBuilder.analyze` run keeps its per-block
+    results on disk (:class:`~repro.runtime.spill.SpilledResults`);
+    materialising ``{cidr: analysis}`` would pull the whole world back
+    into RAM and defeat the point.  This mapping rehydrates exactly one
+    block's analysis per lookup, and iterating items in key order walks
+    the spill shards sequentially.  ``dict(analyses)`` still works for
+    callers that want the eager behaviour on a small subset.
+    """
+
+    def __init__(self, keys: Sequence[str], results: "Sequence[Any]") -> None:
+        self._keys = list(keys)
+        self._results = results
+        self._index = {key: i for i, key in enumerate(self._keys)}
+
+    def __getitem__(self, key: str) -> BlockAnalysis:
+        analysis = self._results[self._index[key]].analysis
+        assert isinstance(analysis, BlockAnalysis)
+        return analysis
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._keys)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._index
 
 
 @dataclass(frozen=True)
@@ -81,11 +116,15 @@ class FunnelCounts:
 
 @dataclass
 class DatasetResult:
-    """All per-block analyses for one dataset window."""
+    """All per-block analyses for one dataset window.
+
+    ``analyses`` is a plain dict for in-memory runs and a lazy
+    :class:`SpilledAnalyses` view for sharded runs — both map cidr to
+    analysis and iterate in block order."""
 
     spec: DatasetSpec
     world: WorldModel
-    analyses: dict[str, BlockAnalysis] = field(default_factory=dict)  # key: cidr
+    analyses: Mapping[str, BlockAnalysis] = field(default_factory=dict)  # key: cidr
     block_specs: dict[str, BlockSpec] = field(default_factory=dict)
     metrics: RunMetrics | None = None  # instrumentation of the engine run
 
@@ -330,9 +369,19 @@ class DatasetBuilder:
         )
         run = engine.run(job, blocks, label=f"analyze:{ds.name}")
         result = DatasetResult(spec=ds, world=self.world, metrics=run.metrics)
+        if isinstance(run.results, SpilledResults):
+            # sharded run: results live on disk — expose a lazy view
+            # instead of rehydrating the whole world into one dict
+            # (jobs key results by cidr, so keys come from the specs)
+            keys = [spec.block.cidr for spec in blocks]
+            result.analyses = SpilledAnalyses(keys, run.results)
+            result.block_specs = dict(zip(keys, blocks))
+            return result
+        analyses: dict[str, BlockAnalysis] = {}
         for spec, block_result in zip(blocks, run.results):
-            result.analyses[block_result.key] = block_result.analysis
+            analyses[block_result.key] = block_result.analysis
             result.block_specs[block_result.key] = spec
+        result.analyses = analyses
         return result
 
     # -- block statistics ----------------------------------------------------

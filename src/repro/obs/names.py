@@ -35,6 +35,7 @@ METRICS = frozenset(
         "engine.batched.chunks",
         "engine.batched.groups",
         "engine.run_wall_s",
+        "engine.shards",
         "engine.tasks",
         "executor.chunk_size",
         "executor.fallbacks",
@@ -47,6 +48,7 @@ METRICS = frozenset(
         "resources.rss_peak_bytes",
         "resources.worker.cpu_s",
         "resources.worker.rss_peak_bytes",
+        "spill.bytes.written",
     }
 )
 

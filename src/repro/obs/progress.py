@@ -25,6 +25,14 @@ The ambient emitter mirrors the tracer pattern (:func:`get_progress` /
 ``REPRO_PROGRESS_INTERVAL`` (seconds, default 2) rate-limits mid-run
 ticks; start and finish records always emit, so every engine run leaves
 at least two heartbeats.
+
+Sharded campaigns (``--shards N``) wrap their per-shard sub-runs in
+:meth:`ProgressEmitter.campaign_scope` / :meth:`~ProgressEmitter.shard_scope`,
+so every record inside carries ``shard``/``shards`` plus campaign-global
+``campaign_done``/``campaign_total`` and a campaign-rate ETA — the
+per-shard ``done``/``total`` alone would otherwise make throughput look
+like it reset at each shard boundary.  Each shard's force-emitted finish
+record doubles as the per-shard completion marker.
 """
 
 from __future__ import annotations
@@ -69,6 +77,14 @@ class NoopProgress:
     def finish(self) -> None:
         pass
 
+    @contextmanager
+    def campaign_scope(self, label: str, *, total: int, n_shards: int) -> Iterator[None]:
+        yield
+
+    @contextmanager
+    def shard_scope(self, index: int, done_offset: int) -> Iterator[None]:
+        yield
+
 
 class ProgressEmitter(NoopProgress):
     """Append heartbeat records to ``directory/progress.jsonl``.
@@ -92,6 +108,9 @@ class ProgressEmitter(NoopProgress):
         self._last_emit = 0.0
         self._cache_hits = 0
         self._cache_misses = 0
+        self._campaign: dict[str, Any] | None = None
+        self._shard: int | None = None
+        self._shard_offset = 0
 
     @property
     def path(self) -> Path:
@@ -124,6 +143,39 @@ class ProgressEmitter(NoopProgress):
     def finish(self) -> None:
         self._emit("finish", force=True)
 
+    @contextmanager
+    def campaign_scope(self, label: str, *, total: int, n_shards: int) -> Iterator[None]:
+        """Bracket a sharded campaign so per-shard runs report globally.
+
+        Inside the scope, every record carries the shard id plus
+        campaign-wide ``campaign_done``/``campaign_total`` and a
+        campaign-rate ETA, so tailing operators see truthful global
+        throughput even though each shard brackets its own sub-run.
+        """
+        self._campaign = {
+            "label": label,
+            "total": int(total),
+            "shards": int(n_shards),
+            "started": time.perf_counter(),
+        }
+        try:
+            yield
+        finally:
+            self._campaign = None
+            self._shard = None
+            self._shard_offset = 0
+
+    @contextmanager
+    def shard_scope(self, index: int, done_offset: int) -> Iterator[None]:
+        """Tag records with the active shard; ``done_offset`` is the
+        count of tasks completed by all earlier shards."""
+        self._shard = int(index)
+        self._shard_offset = int(done_offset)
+        try:
+            yield
+        finally:
+            self._shard = None
+
     # -- internals -------------------------------------------------------
     def _record(self, event: str) -> dict[str, Any]:
         elapsed = time.perf_counter() - self._started_at
@@ -131,7 +183,7 @@ class ProgressEmitter(NoopProgress):
         rate = (completed / elapsed) if elapsed > 0 else 0.0
         remaining = max(self._total - self._done, 0)
         consulted = self._cache_hits + self._cache_misses
-        return {
+        record = {
             "t_unix": time.time(),
             "event": event,
             "label": self._label,
@@ -143,6 +195,21 @@ class ProgressEmitter(NoopProgress):
             "rss_peak_bytes": peak_rss_bytes(),
             "cache_hit_rate": round(self._cache_hits / consulted, 4) if consulted else None,
         }
+        if self._campaign is not None:
+            campaign_done = self._shard_offset + self._done
+            campaign_total = self._campaign["total"]
+            campaign_elapsed = time.perf_counter() - self._campaign["started"]
+            campaign_rate = campaign_done / campaign_elapsed if campaign_elapsed > 0 else 0.0
+            campaign_left = max(campaign_total - campaign_done, 0)
+            record["shard"] = self._shard
+            record["shards"] = self._campaign["shards"]
+            record["campaign_done"] = campaign_done
+            record["campaign_total"] = campaign_total
+            record["campaign_blocks_per_sec"] = round(campaign_rate, 3)
+            record["campaign_eta_s"] = (
+                round(campaign_left / campaign_rate, 3) if campaign_rate > 0 else None
+            )
+        return record
 
     def _emit(self, event: str, *, force: bool = False) -> None:
         if self._disabled:

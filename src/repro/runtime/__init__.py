@@ -19,6 +19,11 @@ seam through which the repo drives that map:
 
 ``REPRO_WORKERS=N`` (or ``repro --workers N``) selects the default
 executor process-wide; see :func:`~repro.runtime.engine.default_engine`.
+``REPRO_SHARDS=N`` (or ``repro --shards N``) additionally streams each
+run through N contiguous shards with results spilled to a
+memory-mappable on-disk layout between shards
+(:mod:`~repro.runtime.sharding`, :mod:`~repro.runtime.spill`), bounding
+coordinator RSS for paper-scale worlds.
 """
 
 from .cache import AnalysisCache, CACHE_SCHEMA, default_cache, stable_token, task_key
@@ -41,7 +46,9 @@ from .executors import (
     SharedMemoryExecutor,
 )
 from .jobs import BatchTailJob, BlockAnalysisJob, BlockReconstructJob, ReconstructedBlock
+from .sharding import ShardPlan, resolve_shards
 from .shm import ArrayDescriptor, SharedArrayPool
+from .spill import SpillDir, SpilledResults
 
 __all__ = [
     "AnalysisCache",
@@ -58,15 +65,19 @@ __all__ = [
     "ReconstructedBlock",
     "RunMetrics",
     "SerialExecutor",
+    "ShardPlan",
     "SharedArrayPool",
     "SharedMemoryExecutor",
     "ShippedResult",
+    "SpillDir",
+    "SpilledResults",
     "StageTotals",
     "TracedCall",
     "default_cache",
     "default_engine",
     "drain_run_log",
     "peek_run_log",
+    "resolve_shards",
     "stable_token",
     "task_key",
 ]

@@ -18,7 +18,7 @@ import time
 import warnings
 from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Sequence
 
 from ..core.pipeline import BlockAnalysis
 from ..core.stages import PIPELINE_STAGES, StageRecord
@@ -34,6 +34,8 @@ from .executors import (
     SerialExecutor,
     SharedMemoryExecutor,
 )
+from .sharding import ShardPlan, resolve_shards
+from .spill import SpillDir, SpilledResults
 
 __all__ = [
     "BlockResult",
@@ -139,6 +141,17 @@ class StageTotals:
         self.n_in += record.n_in
         self.n_out += record.n_out
 
+    def merge(self, other: "StageTotals") -> None:
+        """Fold another run's totals for the same stage into this one."""
+        self.calls += other.calls
+        self.wall_s += other.wall_s
+        self.cpu_s += other.cpu_s
+        self.rss_delta += other.rss_delta
+        self.n_in += other.n_in
+        self.n_out += other.n_out
+        for reason, n in other.skips.items():
+            self.skips[reason] = self.skips.get(reason, 0) + n
+
     def as_dict(self) -> dict[str, Any]:
         return {
             "calls": self.calls,
@@ -178,6 +191,7 @@ class RunMetrics:
     cache: dict[str, int] | None = None  # hits/misses/stores (cached runs only)
     batched: dict[str, int] | None = None  # blocks/groups/chunks (batched runs only)
     resources: dict[str, Any] | None = None  # cpu/rss/pool-payload accounting
+    shards: dict[str, int] | None = None  # shard count + spill totals (sharded runs)
 
     @property
     def blocks_per_sec(self) -> float:
@@ -208,6 +222,7 @@ class RunMetrics:
             "cache": self.cache,
             "batched": self.batched,
             "resources": self.resources,
+            "shards": self.shards,
         }
 
     @classmethod
@@ -228,7 +243,61 @@ class RunMetrics:
             cache=d.get("cache"),  # absent in pre-cache saved traces
             batched=d.get("batched"),  # absent in pre-batching saved traces
             resources=d.get("resources"),  # absent in pre-resource saved traces
+            shards=d.get("shards"),  # absent in pre-sharding saved traces
         )
+
+    @classmethod
+    def merged(
+        cls,
+        parts: "Sequence[RunMetrics]",
+        *,
+        label: str,
+        executor: str,
+        shards: dict[str, int],
+    ) -> "RunMetrics":
+        """Lossless fold of per-shard run metrics into one campaign record.
+
+        Additive sections sum (tasks, wall, stage tables, funnel, cache,
+        batched, pool payload); meter snapshots merge through the
+        registry's own snapshot/merge semantics (counters add, max
+        gauges max, histograms fold element-wise); process-level RSS
+        peaks take the max across shards, since shards share one
+        coordinator process.
+        """
+        out = cls(
+            label=label,
+            executor=executor,
+            n_tasks=sum(p.n_tasks for p in parts),
+            wall_s=sum(p.wall_s for p in parts),
+            shards=dict(shards),
+        )
+        for p in parts:
+            for name, totals in p.stages.items():
+                out.stages.setdefault(name, StageTotals()).merge(totals)
+            for key, n in p.funnel.items():
+                out.funnel[key] = out.funnel.get(key, 0) + n
+            if out.fallback is None:
+                out.fallback = p.fallback
+        if any(p.meters is not None for p in parts):
+            registry = MetricsRegistry()
+            for p in parts:
+                if p.meters:
+                    registry.merge(p.meters)
+            out.meters = registry.snapshot()
+        if any(p.cache is not None for p in parts):
+            out.cache = {
+                key: sum((p.cache or {}).get(key, 0) for p in parts)
+                for key in ("hits", "misses", "stores")
+            }
+        if any(p.batched is not None for p in parts):
+            out.batched = {
+                key: sum((p.batched or {}).get(key, 0) for p in parts)
+                for key in ("blocks", "groups", "chunks")
+            }
+        res_parts = [p.resources for p in parts if p.resources is not None]
+        if res_parts:
+            out.resources = _merge_resources(res_parts)
+        return out
 
     def report(self) -> str:
         """Aligned plain-text run report (the ``--metrics`` output)."""
@@ -278,6 +347,12 @@ class RunMetrics:
                 f"{self.batched.get('groups', 0)} grid groups, "
                 f"{self.batched.get('chunks', 0)} chunks"
             )
+        if self.shards is not None:
+            lines.append(
+                f"  shards: merged {self.shards.get('shards', 0)} shards, "
+                f"{self.shards.get('spilled_items', 0)} results spilled "
+                f"({format_bytes(self.shards.get('spill_bytes', 0))})"
+            )
         if self.resources is not None:
             res = self.resources
             line = (
@@ -317,9 +392,13 @@ class RunMetrics:
 
 @dataclass
 class EngineRun:
-    """Ordered task results plus the aggregated run metrics."""
+    """Ordered task results plus the aggregated run metrics.
 
-    results: list[Any]
+    ``results`` is a plain list for in-memory runs and a lazy,
+    disk-backed :class:`~repro.runtime.spill.SpilledResults` for sharded
+    runs — both index and iterate in task order."""
+
+    results: "Sequence[Any]"
     metrics: RunMetrics
 
 
@@ -399,6 +478,50 @@ def _resolve_shm(value: bool | None) -> bool:
     return False
 
 
+def _merge_resources(parts: "Sequence[dict[str, Any]]") -> dict[str, Any]:
+    """Fold per-shard resource summaries into one campaign summary.
+
+    Shards run sequentially in one coordinator process, so wall and CPU
+    add while RSS peaks max (the high-water mark is process-wide); the
+    ``rss_bytes`` point sample is the last shard's (the most recent).
+    Pool payload counters and worker aggregates are additive, except
+    worker RSS peaks which also max (pool workers persist across
+    shards under the shm tier).
+    """
+    wall_s = sum(p.get("wall_s", 0.0) for p in parts)
+    cpu_s = sum(p.get("cpu_s", 0.0) for p in parts)
+    out: dict[str, Any] = {
+        "wall_s": wall_s,
+        "cpu_s": cpu_s,
+        "cpu_utilization": cpu_s / wall_s if wall_s > 0.0 else 0.0,
+        "rss_bytes": parts[-1].get("rss_bytes", 0),
+        "rss_peak_bytes": max(p.get("rss_peak_bytes", 0) for p in parts),
+        "rss_peak_delta_bytes": max(p.get("rss_peak_delta_bytes", 0) for p in parts),
+    }
+    tm_parts = [p["tracemalloc"] for p in parts if p.get("tracemalloc")]
+    if tm_parts:
+        out["tracemalloc"] = {
+            "current_bytes": tm_parts[-1].get("current_bytes", 0),
+            "peak_bytes": max(t.get("peak_bytes", 0) for t in tm_parts),
+            "delta_bytes": sum(t.get("delta_bytes", 0) for t in tm_parts),
+        }
+    pool_parts = [p["pool"] for p in parts if p.get("pool")]
+    if pool_parts:
+        keys = {k for pool in pool_parts for k in pool}
+        out["pool"] = {k: sum(pool.get(k, 0) for pool in pool_parts) for k in keys}
+    worker_parts = [p["workers"] for p in parts if p.get("workers")]
+    if worker_parts:
+        workers: dict[str, Any] = {
+            "cpu_s": sum(w.get("cpu_s", 0.0) for w in worker_parts),
+            "tasks": sum(w.get("tasks", 0) for w in worker_parts),
+        }
+        rss_vals = [w["rss_peak_bytes"] for w in worker_parts if "rss_peak_bytes" in w]
+        if rss_vals:
+            workers["rss_peak_bytes"] = max(rss_vals)
+        out["workers"] = workers
+    return out
+
+
 #: Bounded history of recent runs, drained by ``repro --metrics``.
 _RUN_LOG: deque[RunMetrics] = deque(maxlen=64)
 
@@ -427,16 +550,23 @@ class CampaignEngine:
         executor: Executor | None = None,
         cache: AnalysisCache | None = None,
         batched: bool | None = None,
+        shards: int | None = None,
     ) -> None:
         """``batched`` selects the columnar dispatch path for jobs that
         support it (``fn.batched_split()``); ``None`` defers to the
         ``REPRO_BATCHED`` environment variable (the CLI's ``--batched`` /
-        ``--no-batched``), which defaults to on.  Results are identical
-        either way — the flag only changes how the work is executed."""
+        ``--no-batched``), which defaults to on.  ``shards`` partitions
+        each run's task list into contiguous ranges streamed one at a
+        time with results spilled to disk between shards; ``None``
+        defers to ``REPRO_SHARDS`` (the CLI's ``--shards``), defaulting
+        to unsharded.  Results are identical either way — the flags only
+        change how the work is executed."""
         self.executor: Executor = executor or SerialExecutor()
         self.cache = cache
         self.batched = _resolve_batched(batched)
+        self.shards = resolve_shards(shards)
         self.history: list[RunMetrics] = []
+        self._stripes: dict[str, AnalysisCache] = {}
 
     def close(self) -> None:
         """Release executor-held resources (idempotent).
@@ -469,6 +599,17 @@ class CampaignEngine:
         :class:`BlockResult` contribute stage totals and funnel counters;
         other result types are simply counted and timed.
 
+        When the engine is sharded (``shards > 1``), the task list is
+        partitioned into contiguous ranges (:class:`ShardPlan`) streamed
+        one shard at a time; each completed shard's results spill to a
+        memory-mapped on-disk layout before the next shard starts, so
+        coordinator RSS is bounded by one shard's working set, not the
+        world.  Per-shard metrics merge losslessly into one
+        :class:`RunMetrics` and ``results`` comes back as a lazy
+        :class:`~repro.runtime.spill.SpilledResults` — contiguity makes
+        the slot order, and therefore every downstream output, byte-
+        identical to an unsharded run.
+
         When the engine has a cache and ``fn`` exposes a
         ``cache_key(task)`` method, each task's key is consulted before
         dispatch and its result stored after; hits bypass the executor
@@ -493,8 +634,28 @@ class CampaignEngine:
         records are those of the per-block path, byte for byte;
         :attr:`RunMetrics.batched` records what was regrouped.
         """
-        tracer = get_tracer() if tracer is None else tracer
         tasks = list(tasks)
+        plan = ShardPlan.plan(self.shards, len(tasks))
+        if plan.n_shards <= 1:
+            return self._run_once(fn, tasks, label=label, tracer=tracer)
+        tracer = get_tracer() if tracer is None else tracer
+        return self._run_sharded(fn, tasks, label=label, tracer=tracer, plan=plan)
+
+    def _run_once(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: list[Any],
+        *,
+        label: str = "campaign",
+        tracer: Tracer | NoopTracer | None = None,
+        record: bool = True,
+    ) -> EngineRun:
+        """One unsharded engine run (the pre-sharding ``run`` body).
+
+        ``record=False`` keeps a sharded campaign's per-shard sub-runs
+        out of ``history`` and the module run log — only the merged
+        campaign record lands there."""
+        tracer = get_tracer() if tracer is None else tracer
         use_batched = self.batched and hasattr(fn, "batched_split")
 
         tracker = ResourceTracker()
@@ -550,9 +711,105 @@ class CampaignEngine:
                 )
         finally:
             progress.finish()
+        if record:
+            self.history.append(metrics)
+            _RUN_LOG.append(metrics)
+        return EngineRun(results=results, metrics=metrics)
+
+    # -- sharding ----------------------------------------------------------
+    def _stripe_cache(self, shard_id: int) -> AnalysisCache | None:
+        """The cache a shard's sub-engine should use.
+
+        Disk-backed caches stripe (one ``shard-NN/`` subtree each, keys
+        staying shard-invariant); memory-only caches are shared as-is —
+        striping one would just split its LRU into N cold fragments.
+        Stripe views are memoised so repeat runs on one engine keep
+        their memory tiers warm.
+        """
+        if self.cache is None or self.cache.directory is None:
+            return self.cache
+        stripe = f"shard-{shard_id:02d}"
+        view = self._stripes.get(stripe)
+        if view is None:
+            view = self.cache.stripe_view(stripe)
+            self._stripes[stripe] = view
+        return view
+
+    def _run_sharded(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: list[Any],
+        *,
+        label: str,
+        tracer: Tracer | NoopTracer,
+        plan: ShardPlan,
+    ) -> EngineRun:
+        """Stream ``tasks`` through the engine one shard at a time.
+
+        Each shard runs on a single-shard sub-engine sharing this
+        engine's executor (so the shm tier's persistent pool survives
+        across shards) and its own cache stripe; completed shard results
+        spill to disk immediately, bounding coordinator RSS by one
+        shard's working set.  The spill directory is owned here: written
+        by this coordinator, deleted by this coordinator on failure, and
+        handed to the returned :class:`SpilledResults` on success (whose
+        finalizer deletes it when the results are garbage collected).
+        """
+        tracker = ResourceTracker()
+        spill = SpillDir.create()
+        parts: list[RunMetrics] = []
+        readers = []
+        progress = get_progress()
+        try:
+            with progress.campaign_scope(label, total=len(tasks), n_shards=plan.n_shards):
+                for i, (lo, hi) in enumerate(plan.ranges):
+                    sub = CampaignEngine(
+                        self.executor, self._stripe_cache(i), self.batched, shards=1
+                    )
+                    with progress.shard_scope(i, lo), tracer.tagged(
+                        shard=i, shards=plan.n_shards
+                    ):
+                        run = sub._run_once(
+                            fn, tasks[lo:hi], label=label, tracer=tracer, record=False
+                        )
+                    readers.append(spill.write_shard(i, run.results))
+                    parts.append(run.metrics)
+        except BaseException:
+            spill.cleanup()
+            raise
+        metrics = RunMetrics.merged(
+            parts,
+            label=label,
+            executor=self.executor.name,
+            shards={
+                "shards": plan.n_shards,
+                "spilled_items": spill.n_items,
+                "spill_bytes": spill.bytes_written,
+            },
+        )
+        # per-shard trackers bracket only their own run; the coordinator's
+        # tracker saw the whole campaign including spill I/O, so its
+        # process-level numbers are the truthful ones
+        res = tracker.summary()
+        if metrics.resources is None:
+            metrics.resources = res
+        else:
+            for key in (
+                "wall_s",
+                "cpu_s",
+                "cpu_utilization",
+                "rss_bytes",
+                "rss_peak_bytes",
+                "rss_peak_delta_bytes",
+            ):
+                metrics.resources[key] = res[key]
+            if "tracemalloc" in res:
+                metrics.resources["tracemalloc"] = res["tracemalloc"]
+        metrics.wall_s = res["wall_s"]
+        get_registry().counter("engine.shards").inc(plan.n_shards)
         self.history.append(metrics)
         _RUN_LOG.append(metrics)
-        return EngineRun(results=results, metrics=metrics)
+        return EngineRun(results=SpilledResults(spill, readers), metrics=metrics)
 
     # -- caching -----------------------------------------------------------
     def _consult_cache(
@@ -888,6 +1145,10 @@ def default_engine() -> CampaignEngine:
     descriptors instead of array pickles).  It needs ``workers > 1`` to
     mean anything; with a serial worker count the flag warns and the
     engine stays serial.
+
+    ``REPRO_SHARDS`` (the CLI's ``--shards N``) is resolved by the
+    engine itself: each run streams through N contiguous shards with
+    results spilled to disk between them, bounding coordinator RSS.
     """
     raw = os.environ.get("REPRO_WORKERS", "").strip()
     workers = 1

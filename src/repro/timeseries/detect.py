@@ -185,6 +185,109 @@ def _cusum_pass(x: np.ndarray, threshold: float, drift: float) -> _CusumPassResu
     return alarms, starts, directions, gp, gn
 
 
+def _cusum_pass_batch(
+    x: np.ndarray, threshold: float, drift: float
+) -> list[_CusumPassResult]:
+    """Row-parallel forward CUSUM pass over a ``(B, n)`` matrix.
+
+    Runs the same segment algorithm as :func:`_cusum_pass` — same window
+    start (64), same x4 growth, same running-minimum identity — but
+    advances every row's active segment together: each round groups rows
+    by their current window size, gathers each row's segment into one
+    ``(rows, w)`` matrix, and computes all cumulative sums with 2-D
+    ``axis=1`` reductions.  ``np.cumsum``/``np.minimum.accumulate`` are
+    strictly sequential per row, and a cumsum prefix equals the cumsum
+    of the prefix, so every value matches the per-row kernel bit for
+    bit; the only remaining Python work is O(alarms), not O(rows x
+    segments).  Returned ``gp``/``gn`` are C-contiguous rows of one
+    ``(B, n)`` backing array — indistinguishable from standalone arrays
+    under ``pickle.dumps``.
+    """
+    n_rows, n = x.shape
+    gp = np.zeros((n_rows, n))
+    gn = np.zeros((n_rows, n))
+    alarms: list[list[int]] = [[] for _ in range(n_rows)]
+    starts: list[list[int]] = [[] for _ in range(n_rows)]
+    directions: list[list[int]] = [[] for _ in range(n_rows)]
+    if n >= 2 and n_rows:
+        d = np.diff(x, axis=1)
+        dp = d - drift
+        dn = -d - drift
+        base = np.ones(n_rows, dtype=np.int64)
+        wcur = np.full(n_rows, 64, dtype=np.int64)  # _cusum_pass's start
+        active = np.ones(n_rows, dtype=bool)
+        while active.any():
+            for wval in np.unique(wcur[active]).tolist():
+                rows = np.flatnonzero(active & (wcur == wval))
+                avail = n - base[rows]
+                w = np.minimum(wval, avail)
+                width = int(w.max())
+                col = base[rows][:, None] - 1 + np.arange(width)[None, :]
+                np.clip(col, 0, n - 2, out=col)  # clipped tails are masked
+                sp = np.cumsum(np.take_along_axis(dp[rows], col, axis=1), axis=1)
+                sn = np.cumsum(np.take_along_axis(dn[rows], col, axis=1), axis=1)
+                mp = np.minimum.accumulate(np.minimum(sp, 0.0), axis=1)
+                mn = np.minimum.accumulate(np.minimum(sn, 0.0), axis=1)
+                gpseg = sp - mp
+                gnseg = sn - mn
+                valid = np.arange(width)[None, :] < w[:, None]
+                over = ((gpseg > threshold) | (gnseg > threshold)) & valid
+                has_hit = over.any(axis=1)
+                hits = np.argmax(over, axis=1)
+                hit_rows = np.flatnonzero(has_hit).tolist()
+                if hit_rows:
+                    # clamp points (strict new prefix minima below zero)
+                    # for the whole round at once: last_p[k, j] is the
+                    # last clamp of sp at or before j, -1 when none —
+                    # the same answer the per-row kernel extracts with
+                    # flatnonzero over each alarm's prefix
+                    idx = np.arange(width)[None, :]
+                    prev_mp = np.concatenate(
+                        (np.zeros((len(rows), 1)), mp[:, :-1]), axis=1
+                    )
+                    prev_mn = np.concatenate(
+                        (np.zeros((len(rows), 1)), mn[:, :-1]), axis=1
+                    )
+                    last_p = np.maximum.accumulate(
+                        np.where(sp < prev_mp, idx, -1), axis=1
+                    )
+                    last_n = np.maximum.accumulate(
+                        np.where(sn < prev_mn, idx, -1), axis=1
+                    )
+                for k in hit_rows:
+                    r = int(rows[k])
+                    hit = int(hits[k])
+                    b = int(base[r])
+                    alarm = b + hit
+                    gp[r, b : alarm + 1] = gpseg[k, : hit + 1]
+                    gn[r, b : alarm + 1] = gnseg[k, : hit + 1]
+                    up = bool(gpseg[k, hit] > threshold)
+                    clamp = int(last_p[k, hit] if up else last_n[k, hit])
+                    onset = b + clamp if clamp >= 0 else b - 1
+                    alarms[r].append(alarm)
+                    starts[r].append(onset)
+                    directions[r].append(1 if up else -1)
+                    gp[r, alarm] = 0.0
+                    gn[r, alarm] = 0.0
+                    base[r] = alarm + 1
+                    wcur[r] = 64
+                    if alarm + 1 >= n:
+                        active[r] = False
+                for k in np.flatnonzero(~has_hit).tolist():
+                    r = int(rows[k])
+                    if int(w[k]) == int(avail[k]):
+                        b = int(base[r])
+                        gp[r, b:] = gpseg[k, : int(avail[k])]
+                        gn[r, b:] = gnseg[k, : int(avail[k])]
+                        active[r] = False
+                    else:
+                        wcur[r] = wval * 4
+    return [
+        (alarms[i], starts[i], directions[i], gp[i], gn[i])
+        for i in range(n_rows)
+    ]
+
+
 def _forward_fill(x: np.ndarray) -> np.ndarray:
     """Forward-fill NaNs in place (leading NaNs take the first finite value)."""
     good = np.isfinite(x)
@@ -307,9 +410,13 @@ def detect_cusum_batch(
 ) -> list[CusumResult]:
     """Row-wise :func:`detect_cusum` over a ``(B, n)`` matrix.
 
-    NaN forward-filling is vectorized across all rows at once; each row's
-    forward/backward passes then reuse the segmented CUSUM kernel, so row
-    ``i`` is identical to ``detect_cusum(values[i], ...)``.
+    NaN forward-filling is vectorized across all rows at once, then the
+    forward pass runs row-parallel through :func:`_cusum_pass_batch`
+    (every row's segments advance together as 2-D reductions) and one
+    more batched pass over the reversed rows that alarmed estimates the
+    endings.  Row ``i`` is identical to ``detect_cusum(values[i], ...)``
+    bit for bit — the batch kernel performs the same float operations in
+    the same order, just across rows at once.
     """
     x = np.asarray(values, dtype=np.float64).copy()
     if x.ndim != 2:
@@ -326,12 +433,48 @@ def detect_cusum_batch(
         idx = np.where(np.isfinite(x), np.arange(n)[None, :], 0)
         np.maximum.accumulate(idx, axis=1, out=idx)
         x = np.take_along_axis(x, idx, axis=1)
-    return [
-        _finish(x[i], threshold, drift, estimate_ending, _cusum_pass)
-        if usable[i]
-        else CusumResult((), np.zeros(n), np.zeros(n))
-        for i in range(n_rows)
-    ]
+
+    live = np.flatnonzero(usable)
+    forward = _cusum_pass_batch(x[live], threshold, drift)
+    # backward pass only for rows that alarmed (matching _finish, which
+    # skips it for alarm-free rows), batched over the reversed rows
+    need = [k for k, (alarms, _, _, _, _) in enumerate(forward) if alarms]
+    rev_starts_for: dict[int, list[int]] = {}
+    if estimate_ending and need:
+        backward = _cusum_pass_batch(
+            np.ascontiguousarray(x[live[need]][:, ::-1]), threshold, drift
+        )
+        rev_starts_for = {k: backward[j][1] for j, k in enumerate(need)}
+
+    out: list[CusumResult] = []
+    by_live = {int(i): k for k, i in enumerate(live)}
+    for i in range(n_rows):
+        k = by_live.get(i)
+        if k is None:
+            out.append(CusumResult((), np.zeros(n), np.zeros(n)))
+            continue
+        alarms, starts, directions, gp, gn = forward[k]
+        ends = list(alarms)
+        if estimate_ending and alarms:
+            ends = _paired_endings(alarms, starts, rev_starts_for[k], n)
+        row = x[i]
+        out.append(
+            CusumResult(
+                tuple(
+                    CusumAlarm(
+                        alarm=int(a),
+                        start=int(s),
+                        end=int(e),
+                        direction=int(d),
+                        amplitude=float(row[min(int(e), n - 1)] - row[int(s)]),
+                    )
+                    for a, s, e, d in zip(alarms, starts, ends, directions)
+                ),
+                gp,
+                gn,
+            )
+        )
+    return out
 
 
 def zscore_rows(

@@ -1,0 +1,454 @@
+"""Tests for sharded out-of-core campaigns: planning, spill, identity.
+
+The contract under test is the one docs/algorithms.md §16 states: a
+sharded run (``--shards N``) is an execution detail.  Plans partition
+tasks contiguously, spilled results rehydrate byte-identically, caches
+stay warm across re-sharding, and every experiment output matches the
+unsharded run under ``pickle.dumps`` — for serial, parallel, and shm
+dispatch alike.
+"""
+
+from __future__ import annotations
+
+import gc
+import pickle
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.datasets.builder import DatasetBuilder, SpilledAnalyses
+from repro.net.world import WorldModel, scenario_covid2020
+from repro.obs.progress import ProgressEmitter, use_progress
+from repro.runtime import (
+    AnalysisCache,
+    CampaignEngine,
+    ParallelExecutor,
+    SerialExecutor,
+    ShardPlan,
+    SpillDir,
+    SpilledResults,
+    resolve_shards,
+)
+
+DATASET = "2020it89-match-ejnw"  # two weeks, four observers: cheap but real
+
+
+def _square(x):
+    return x * x
+
+
+def _boom_on_seven(x):
+    if x == 7:
+        raise RuntimeError("task 7 exploded")
+    return x
+
+
+def _alloc_block(n):
+    # ~240 KB per task: big enough that holding all results dominates
+    # the coordinator's allocation peak in the RSS-bound test
+    return np.arange(30_000, dtype=np.float64) + float(n)
+
+
+# ---------------------------------------------------------------------------
+# planning
+# ---------------------------------------------------------------------------
+class TestShardPlan:
+    @pytest.mark.parametrize("n_shards,n_tasks", [(1, 5), (3, 10), (4, 4), (7, 100)])
+    def test_ranges_contiguous_balanced_and_complete(self, n_shards, n_tasks):
+        plan = ShardPlan.plan(n_shards, n_tasks)
+        ranges = plan.ranges
+        assert ranges[0][0] == 0 and ranges[-1][1] == n_tasks
+        for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+            assert hi == lo  # contiguous, no gap or overlap
+        sizes = [hi - lo for lo, hi in ranges]
+        assert max(sizes) - min(sizes) <= 1  # balanced within one task
+        assert all(size > 0 for size in sizes)  # no empty shard
+
+    def test_shard_of_is_the_inverse_of_ranges(self):
+        plan = ShardPlan.plan(5, 23)
+        for shard, (lo, hi) in enumerate(plan.ranges):
+            for index in range(lo, hi):
+                assert plan.shard_of(index) == shard
+        with pytest.raises(IndexError):
+            plan.shard_of(23)
+        with pytest.raises(IndexError):
+            plan.shard_of(-1)
+
+    def test_plan_clamps_to_task_count(self):
+        assert ShardPlan.plan(10, 3).n_shards == 3
+        assert ShardPlan.plan(0, 5).n_shards == 1
+        assert ShardPlan.plan(-2, 5).n_shards == 1
+        assert ShardPlan.plan(4, 0).n_shards == 1  # empty runs stay unsharded
+
+
+class TestResolveShards:
+    def test_explicit_value_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "9")
+        assert resolve_shards(3) == 3
+        assert resolve_shards(0) == 1
+
+    def test_environment_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        assert resolve_shards(None) == 1
+        monkeypatch.setenv("REPRO_SHARDS", "")
+        assert resolve_shards(None) == 1
+        monkeypatch.setenv("REPRO_SHARDS", "6")
+        assert resolve_shards(None) == 6
+        assert CampaignEngine(SerialExecutor()).shards == 6
+
+    def test_garbage_value_warns_and_runs_unsharded(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "many")
+        with pytest.warns(RuntimeWarning, match="REPRO_SHARDS"):
+            assert resolve_shards(None) == 1
+        monkeypatch.setenv("REPRO_SHARDS", "-4")
+        with pytest.warns(RuntimeWarning, match="REPRO_SHARDS"):
+            assert resolve_shards(None) == 1
+
+    def test_cli_flag_sets_environment(self, monkeypatch, capsys):
+        import os
+
+        from repro.cli import main
+
+        # setenv first so monkeypatch restores the *original* (unset)
+        # state at teardown even though main() overwrites the value
+        monkeypatch.setenv("REPRO_SHARDS", "stale")
+        assert main(["--shards", "4", "list"]) == 0
+        assert os.environ["REPRO_SHARDS"] == "4"
+
+
+# ---------------------------------------------------------------------------
+# spill round-trips
+# ---------------------------------------------------------------------------
+class TestSpillRoundTrip:
+    def _roundtrip(self, items, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+        spill = SpillDir.create()
+        reader = spill.write_shard(0, items)
+        results = SpilledResults(spill, [reader])
+        return results
+
+    def test_external_arrays_rehydrate_byte_identical(self, tmp_path, monkeypatch):
+        rng = np.random.default_rng(17)
+        items = [
+            {"f8": rng.normal(size=256), "i4": rng.integers(0, 9, 64).astype("<i4")},
+            {"c16": (rng.normal(size=32) + 1j * rng.normal(size=32))},
+            {"2d": rng.normal(size=(16, 16)), "bool": rng.normal(size=128) > 0},
+            {
+                "dt": np.arange(64).astype("datetime64[s]"),
+                "td": np.arange(64).astype("timedelta64[ms]"),
+            },
+        ]
+        results = self._roundtrip(items, tmp_path, monkeypatch)
+        assert len(results) == len(items)
+        for original, loaded in zip(items, results):
+            assert pickle.dumps(loaded) == pickle.dumps(original)
+            for key, arr in original.items():
+                out = loaded[key]
+                assert out.dtype == arr.dtype and out.shape == arr.shape
+                assert out.flags.writeable and not isinstance(out, np.memmap)
+
+    def test_nan_bit_patterns_survive_the_trip(self, tmp_path, monkeypatch):
+        # distinct NaN payloads are invisible to == but not to tobytes()
+        bits = np.array(
+            [0x7FF8000000000001, 0x7FF8000000000002, 0xFFF8000000000000] * 4,
+            dtype="<u8",
+        )
+        arr = bits.view(np.float64)
+        [loaded] = self._roundtrip([{"nans": arr}], tmp_path, monkeypatch)
+        assert loaded["nans"].tobytes() == arr.tobytes()
+        assert pickle.dumps(loaded["nans"]) == pickle.dumps(arr)
+
+    def test_awkward_arrays_stay_inline_but_identical(self, tmp_path, monkeypatch):
+        base = np.arange(512, dtype=np.float64)
+        items = [
+            {
+                "strided": base[::2],  # not C-contiguous
+                "fortran": np.asfortranarray(np.arange(64, dtype=np.float64).reshape(8, 8)),
+                "deep": np.zeros((2, 2, 2, 2, 2)),  # 5-D: beyond the meta row
+                "objects": np.array([{"a": 1}, [2, 3], None], dtype=object),
+                "structured": np.zeros(16, dtype=[("x", "<f8"), ("y", "<i4")]),
+                "tiny": np.arange(4, dtype=np.int8),  # below the spill floor
+            }
+        ]
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+        spill = SpillDir.create()
+        reader = spill.write_shard(0, items)
+        arrmeta = np.load(spill.directory / "shard-00.arrmeta.npy")
+        assert len(arrmeta) == 0  # nothing above was eligible to externalise
+        [loaded] = SpilledResults(spill, [reader])
+        assert pickle.dumps(loaded) == pickle.dumps(items[0])
+
+    def test_intra_result_aliasing_is_preserved(self, tmp_path, monkeypatch):
+        # persistent-id saves bypass pickle's memo; without dedup an
+        # array referenced twice would rehydrate as two objects and the
+        # re-pickled memo structure (and bytes) would change
+        shared = np.arange(128, dtype=np.float64)
+        item = {"a": shared, "b": shared, "c": shared[:64].copy()}
+        [loaded] = self._roundtrip([item], tmp_path, monkeypatch)
+        assert loaded["a"] is loaded["b"]
+        assert loaded["c"] is not loaded["a"]
+        assert pickle.dumps(loaded) == pickle.dumps(item)
+
+    def test_sequence_protocol(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+        spill = SpillDir.create()
+        readers = [
+            spill.write_shard(0, [10, 11, 12]),
+            spill.write_shard(1, [13, 14]),
+            spill.write_shard(2, [15]),
+        ]
+        results = SpilledResults(spill, readers)
+        assert list(results) == [10, 11, 12, 13, 14, 15]
+        assert results[0] == 10 and results[-1] == 15 and results[4] == 14
+        assert results[1:4] == [11, 12, 13]
+        with pytest.raises(IndexError):
+            results[6]
+
+
+class TestSpillLifecycle:
+    def test_success_cleans_up_when_results_die(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+        engine = CampaignEngine(SerialExecutor(), shards=3)
+        run = engine.run(_square, list(range(9)), label="spill-gc")
+        assert isinstance(run.results, SpilledResults)
+        spill_dir = run.results.spill_dir
+        assert spill_dir.is_dir() and spill_dir.parent == tmp_path
+        assert list(run.results) == [i * i for i in range(9)]
+        del run
+        gc.collect()
+        assert not spill_dir.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_mid_shard_failure_cleans_up_and_raises(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+        engine = CampaignEngine(SerialExecutor(), shards=4)
+        with pytest.raises(RuntimeError, match="task 7"):
+            engine.run(_boom_on_seven, list(range(12)), label="spill-fail")
+        gc.collect()
+        assert list(tmp_path.iterdir()) == []  # coordinator deleted its spill
+
+    def test_cleanup_is_idempotent(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+        spill = SpillDir.create()
+        spill.write_shard(0, [1, 2])
+        assert spill.alive
+        spill.cleanup()
+        assert not spill.alive and not spill.directory.exists()
+        spill.cleanup()  # second call must be a no-op
+
+
+# ---------------------------------------------------------------------------
+# the engine's sharded path
+# ---------------------------------------------------------------------------
+class TestShardedEngine:
+    def test_plain_tasks_match_unsharded(self):
+        unsharded = CampaignEngine(SerialExecutor()).run(_square, list(range(20)))
+        sharded = CampaignEngine(SerialExecutor(), shards=6).run(_square, list(range(20)))
+        assert list(sharded.results) == unsharded.results
+        assert sharded.metrics.n_tasks == 20
+        assert sharded.metrics.shards == {
+            "shards": 6,
+            "spilled_items": 20,
+            "spill_bytes": sharded.metrics.shards["spill_bytes"],
+        }
+        assert sharded.metrics.shards["spill_bytes"] > 0
+        assert "shards: merged 6 shards" in sharded.metrics.report()
+
+    def test_one_shard_stays_on_the_unsharded_path(self):
+        run = CampaignEngine(SerialExecutor(), shards=1).run(_square, list(range(5)))
+        assert isinstance(run.results, list)
+        assert run.metrics.shards is None
+
+    def test_merged_metrics_match_unsharded_funnel(self, small_world):
+        serial = DatasetBuilder(small_world).analyze(
+            DATASET, engine=CampaignEngine(SerialExecutor())
+        )
+        sharded = DatasetBuilder(small_world).analyze(
+            DATASET, engine=CampaignEngine(SerialExecutor(), shards=4)
+        )
+        assert sharded.metrics.funnel == serial.metrics.funnel
+        assert sharded.metrics.n_tasks == serial.metrics.n_tasks
+        for name, totals in serial.metrics.stages.items():
+            merged = sharded.metrics.stages[name]
+            assert merged.touched == totals.touched, name
+            assert merged.skips == totals.skips, name
+
+    def test_analyses_are_a_lazy_mapping_and_byte_identical(self, small_world):
+        serial = DatasetBuilder(small_world).analyze(
+            DATASET, engine=CampaignEngine(SerialExecutor())
+        )
+        sharded = DatasetBuilder(small_world).analyze(
+            DATASET, engine=CampaignEngine(SerialExecutor(), shards=3)
+        )
+        analyses = sharded.analyses
+        assert isinstance(analyses, SpilledAnalyses)
+        assert list(analyses) == list(serial.analyses)
+        assert len(analyses) == len(serial.analyses)
+        first = next(iter(analyses))
+        assert first in analyses and "not-a-block" not in analyses
+        with pytest.raises(KeyError):
+            analyses["not-a-block"]
+        for cidr in analyses:
+            assert pickle.dumps(analyses[cidr]) == pickle.dumps(
+                serial.analyses[cidr]
+            ), f"sharded diverged from serial for {cidr}"
+
+    def test_sharded_peak_allocation_stays_below_unsharded(self, tmp_path, monkeypatch):
+        # the tentpole's success metric at smoke scale: holding every
+        # result (unsharded) must allocate measurably more than
+        # streaming shards through the spill directory
+        monkeypatch.setenv("REPRO_SPILL_DIR", str(tmp_path))
+        tasks = list(range(48))
+        started_here = not tracemalloc.is_tracing()
+        if started_here:
+            tracemalloc.start()
+        try:
+            gc.collect()
+            tracemalloc.reset_peak()
+            run = CampaignEngine(SerialExecutor()).run(_alloc_block, tasks)
+            assert len(run.results) == 48
+            _, unsharded_peak = tracemalloc.get_traced_memory()
+            del run
+            gc.collect()
+            tracemalloc.reset_peak()
+            run = CampaignEngine(SerialExecutor(), shards=12).run(_alloc_block, tasks)
+            assert len(run.results) == 48
+            _, sharded_peak = tracemalloc.get_traced_memory()
+            del run
+            gc.collect()
+        finally:
+            if started_here:
+                tracemalloc.stop()
+        assert sharded_peak < 0.6 * unsharded_peak, (
+            f"sharded peak {sharded_peak} not below unsharded {unsharded_peak}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# experiment outputs: the acceptance bar
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fig3_serial_bytes():
+    from repro.experiments import fig3
+
+    return pickle.dumps(fig3.run(n_blocks=64, engine=CampaignEngine(SerialExecutor())))
+
+
+class TestShardedByteIdentity:
+    def test_serial_sharded_matches(self, fig3_serial_bytes):
+        from repro.experiments import fig3
+
+        engine = CampaignEngine(SerialExecutor(), shards=3)
+        assert pickle.dumps(fig3.run(n_blocks=64, engine=engine)) == fig3_serial_bytes
+
+    def test_parallel_sharded_matches(self, fig3_serial_bytes):
+        from repro.experiments import fig3
+
+        engine = CampaignEngine(ParallelExecutor(workers=2), shards=3)
+        result = fig3.run(n_blocks=64, engine=engine)
+        assert engine.executor.fallback_reason is None
+        assert pickle.dumps(result) == fig3_serial_bytes
+
+    def test_shm_sharded_matches(self, fig3_serial_bytes):
+        from repro.experiments import fig3
+        from repro.runtime import SharedMemoryExecutor
+
+        with CampaignEngine(SharedMemoryExecutor(workers=2), shards=2) as engine:
+            result = fig3.run(n_blocks=64, engine=engine)
+            assert engine.executor.fallback_reason is None
+        assert pickle.dumps(result) == fig3_serial_bytes
+
+    def test_table2_sharded_matches(self):
+        from repro.experiments import table2
+
+        serial = pickle.dumps(
+            table2.run(n_blocks=48, engine=CampaignEngine(SerialExecutor()))
+        )
+        sharded = pickle.dumps(
+            table2.run(n_blocks=48, engine=CampaignEngine(SerialExecutor(), shards=4))
+        )
+        assert sharded == serial
+
+
+# ---------------------------------------------------------------------------
+# cache striping
+# ---------------------------------------------------------------------------
+class TestCacheStriping:
+    def test_resharding_stays_warm_across_stripes(self, small_world, tmp_path):
+        cold = CampaignEngine(
+            SerialExecutor(), cache=AnalysisCache(tmp_path), shards=2
+        )
+        first = DatasetBuilder(small_world).analyze(DATASET, engine=cold)
+        assert first.metrics.cache["misses"] == first.metrics.n_tasks
+        assert (tmp_path / "shard-00").is_dir() and (tmp_path / "shard-01").is_dir()
+
+        warm = CampaignEngine(
+            SerialExecutor(), cache=AnalysisCache(tmp_path), shards=3
+        )
+        second = DatasetBuilder(small_world).analyze(DATASET, engine=warm)
+        assert second.metrics.cache["hits"] == second.metrics.n_tasks
+        assert second.metrics.cache["misses"] == 0
+        for cidr in second.analyses:
+            assert pickle.dumps(second.analyses[cidr]) == pickle.dumps(
+                first.analyses[cidr]
+            )
+
+    def test_striped_runs_read_unstriped_entries(self, small_world, tmp_path):
+        flat = CampaignEngine(SerialExecutor(), cache=AnalysisCache(tmp_path))
+        DatasetBuilder(small_world).analyze(DATASET, engine=flat)
+        striped = CampaignEngine(
+            SerialExecutor(), cache=AnalysisCache(tmp_path), shards=4
+        )
+        result = DatasetBuilder(small_world).analyze(DATASET, engine=striped)
+        assert result.metrics.cache["hits"] == result.metrics.n_tasks
+
+    def test_memory_only_cache_is_shared_not_striped(self):
+        cache = AnalysisCache()
+        engine = CampaignEngine(SerialExecutor(), cache=cache, shards=3)
+        assert engine._stripe_cache(0) is cache
+        assert engine._stripe_cache(2) is cache
+
+
+# ---------------------------------------------------------------------------
+# the progress plane under sharding
+# ---------------------------------------------------------------------------
+class TestShardedProgress:
+    def test_records_carry_shard_and_campaign_fields(self, tmp_path):
+        import json
+
+        emitter = ProgressEmitter(tmp_path, interval_s=0.0)
+        with use_progress(emitter):
+            CampaignEngine(SerialExecutor(), shards=3).run(
+                _square, list(range(9)), label="sharded-progress"
+            )
+        records = [
+            json.loads(line)
+            for line in (tmp_path / "progress.jsonl").read_text().splitlines()
+        ]
+        assert records, "no heartbeats emitted"
+        for record in records:
+            assert record["shards"] == 3
+            assert record["campaign_total"] == 9
+            assert record["shard"] in (0, 1, 2, None)
+        finishes = [r for r in records if r["event"] == "finish"]
+        assert [r["shard"] for r in finishes] == [0, 1, 2]  # one per shard, forced
+        assert finishes[-1]["campaign_done"] == 9
+        done = [r["campaign_done"] for r in records]
+        assert done == sorted(done), "global progress must be monotonic"
+        ticks = [r for r in records if r["event"] == "tick" and r["shard"] == 1]
+        assert ticks and all(r["campaign_done"] > 3 for r in ticks)
+
+    def test_unsharded_records_stay_unchanged(self, tmp_path):
+        import json
+
+        emitter = ProgressEmitter(tmp_path, interval_s=0.0)
+        with use_progress(emitter):
+            CampaignEngine(SerialExecutor()).run(_square, list(range(4)))
+        records = [
+            json.loads(line)
+            for line in (tmp_path / "progress.jsonl").read_text().splitlines()
+        ]
+        assert records
+        for record in records:
+            assert "shard" not in record and "campaign_done" not in record
