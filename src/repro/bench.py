@@ -293,13 +293,12 @@ def measure_dispatch_tiers(
     results are asserted byte-identical before anything is recorded.
     Keyed by B, like :func:`measure_cusum_scaling`.
     """
+    from .runtime import envconfig
     from .runtime.executors import ParallelExecutor, SharedMemoryExecutor
 
     out: dict[str, dict[str, float]] = {}
     # the pickle path's task-byte measurement is accounting-gated
-    saved = os.environ.get("REPRO_PAYLOAD_ACCOUNTING")
-    os.environ["REPRO_PAYLOAD_ACCOUNTING"] = "1"
-    try:
+    with envconfig.overriding("REPRO_PAYLOAD_ACCOUNTING", "1"):
         for b in batch_sizes:
             _, matrix = count_matrix_fixture(b)
             tasks = [
@@ -354,11 +353,6 @@ def measure_dispatch_tiers(
                     n_blocks / shm_t["wall_s"] if shm_t["wall_s"] > 0 else 0.0
                 ),
             }
-    finally:
-        if saved is None:
-            os.environ.pop("REPRO_PAYLOAD_ACCOUNTING", None)
-        else:
-            os.environ["REPRO_PAYLOAD_ACCOUNTING"] = saved
     return out
 
 
@@ -384,14 +378,9 @@ def measure_engine(n_blocks: int | None = None) -> dict[str, float | int]:
 def _scale_sweep() -> tuple[int, ...]:
     """Scales for ``measure_scale``: ``REPRO_BENCH_SCALES`` (comma ints)
     overrides the default :data:`SCALE_SWEEP` so CI can run a tiny sweep."""
-    raw = os.environ.get("REPRO_BENCH_SCALES", "").strip()
-    if not raw:
-        return SCALE_SWEEP
-    try:
-        scales = tuple(int(part) for part in raw.split(",") if part.strip())
-    except ValueError:
-        return SCALE_SWEEP
-    return scales or SCALE_SWEEP
+    from .runtime import envconfig
+
+    return envconfig.get_int_csv("REPRO_BENCH_SCALES") or SCALE_SWEEP
 
 
 def measure_scale(scales: "Sequence[int] | None" = None) -> dict[str, Any]:

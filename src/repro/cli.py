@@ -15,7 +15,7 @@
     repro --trace out/ fig3    # also write spans.jsonl/metrics.jsonl/run.json
     repro --progress out/ fig3 # append live heartbeats to out/progress.jsonl
     repro report out/          # re-render a saved run from disk (no rerun)
-    repro lint                 # statically check repo invariants (REP001-REP005)
+    repro lint                 # statically check repo invariants (REP001-REP008)
     repro lint --format json   # machine-diffable report (CI artifact)
     repro profile fig3         # run one experiment under cProfile
     repro bench                # append a record to the BENCH_kernels.json trajectory
@@ -25,10 +25,10 @@
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 
 from .experiments import REGISTRY
+from .runtime import envconfig
 
 __all__ = ["main"]
 
@@ -40,6 +40,8 @@ def _build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'Inferring Changes in Daily Human Activity from "
             "Internet Response' (IMC 2023)."
         ),
+        epilog=envconfig.env_help(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "experiment",
@@ -258,22 +260,22 @@ def main(argv: list[str] | None = None) -> int:
     if args.workers is not None:
         # default_engine() reads this; one env var reaches every
         # experiment without threading an engine through each main().
-        os.environ["REPRO_WORKERS"] = str(args.workers)
+        envconfig.set_env("REPRO_WORKERS", str(args.workers))
     if args.shards is not None:
-        os.environ["REPRO_SHARDS"] = str(args.shards)
+        envconfig.set_env("REPRO_SHARDS", str(args.shards))
     if args.cache is not None:
-        os.environ["REPRO_CACHE"] = args.cache
+        envconfig.set_env("REPRO_CACHE", args.cache)
     if args.batched is not None:
-        os.environ["REPRO_BATCHED"] = "1" if args.batched else "0"
+        envconfig.set_env("REPRO_BATCHED", "1" if args.batched else "0")
     if args.shm is not None:
-        os.environ["REPRO_SHM"] = "1" if args.shm else "0"
+        envconfig.set_env("REPRO_SHM", "1" if args.shm else "0")
     if args.metrics or args.trace is not None:
         # these runs print/persist the pool payload section, so turn the
         # (re-pickling) payload accounting on unless explicitly set
-        os.environ.setdefault("REPRO_PAYLOAD_ACCOUNTING", "1")
+        envconfig.setdefault_env("REPRO_PAYLOAD_ACCOUNTING", "1")
     if args.progress is not None:
-        os.environ["REPRO_PROGRESS"] = args.progress
-    if os.environ.get("REPRO_PROGRESS"):
+        envconfig.set_env("REPRO_PROGRESS", args.progress)
+    if envconfig.raw("REPRO_PROGRESS"):
         from .obs.progress import default_progress, set_progress
 
         set_progress(default_progress())

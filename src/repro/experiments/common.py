@@ -14,7 +14,6 @@ for exactly those blocks.
 from __future__ import annotations
 
 import functools
-import os
 from dataclasses import dataclass
 from datetime import date, timedelta
 
@@ -26,6 +25,7 @@ from ..datasets.builder import DatasetBuilder, DatasetResult, block_record
 from ..datasets.catalog import dataset
 from ..net.world import WorldModel, scenario_baseline2023, scenario_covid2020
 from ..obs.trace import get_tracer
+from ..runtime import envconfig
 from ..runtime.engine import CampaignEngine, RunMetrics, default_engine
 
 __all__ = [
@@ -43,7 +43,7 @@ __all__ = [
 
 def bench_scale(default: int = 400) -> int:
     """World size for experiments, overridable via REPRO_SCALE."""
-    return int(os.environ.get("REPRO_SCALE", default))
+    return envconfig.get_int("REPRO_SCALE", default)
 
 
 @functools.lru_cache(maxsize=4)

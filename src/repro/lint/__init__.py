@@ -1,9 +1,12 @@
 """``repro lint``: static verification of the repo's correctness invariants.
 
 The runtime test suite proves the pipeline's invariants *today*; this
-package proves they cannot silently rot *tomorrow*.  Five AST-based
-rules check, at review time, the properties the reproduction's
-credibility rests on:
+package proves they cannot silently rot *tomorrow*.  The analyzer runs
+in two passes: pass 1 builds a :class:`~repro.lint.project.ProjectContext`
+(module import graph + exported-symbol table over all of ``src/repro``),
+pass 2 runs eight AST-based rules — the newer ones reasoning across
+files and along control flow — checking the properties the
+reproduction's credibility rests on:
 
 ==========  ====================  =============================================
 rule ID     name                  invariant
@@ -21,7 +24,22 @@ rule ID     name                  invariant
 ``REP005``  metrics-hygiene       instrument names are literals registered in
                                   ``repro.obs.names`` (or built via
                                   ``metric_name`` from a registered family)
+``REP006``  resource-lifecycle    every shm segment, process pool, spill/temp
+                                  dir, and mmap acquisition is released on all
+                                  paths (``with`` / ``try-finally`` /
+                                  ``weakref.finalize``), flow-sensitively
+``REP007``  import-layering       module-level imports follow the declarative
+                                  layer map, form no cycles, and name symbols
+                                  that exist (``rules/layering.LAYER_MAP``)
+``REP008``  env-boundary          raw ``os.environ``/``os.getenv`` access only
+                                  inside ``runtime/envconfig.py``, where every
+                                  knob is registered and typed
 ==========  ====================  =============================================
+
+The static tier has a dynamic oracle: :mod:`repro.lint.sanitizer`
+(``REPRO_SANITIZE=1``) tracks live segments/pools/spill dirs at runtime
+and fails on leaks at engine close and process exit — what REP006
+approximates statically, the sanitizer proves on real runs.
 
 Entry points: the ``repro lint`` CLI subcommand (:mod:`repro.lint.cli`),
 or :func:`run_lint` for tests and tooling.

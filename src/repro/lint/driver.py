@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import Iterator
 
 from .baseline import Baseline
+from .project import ProjectContext
 from .registry import Rule, Violation, all_rules
 
 __all__ = ["LintContext", "LintResult", "build_context", "find_root", "run_lint"]
@@ -45,6 +46,18 @@ class LintContext:
     sources: dict[str, list[str]] = field(default_factory=dict)
     #: paths that failed to parse: path -> SyntaxError message
     broken: dict[str, str] = field(default_factory=dict)
+    _project: ProjectContext | None = field(default=None, repr=False)
+
+    @property
+    def project(self) -> ProjectContext:
+        """Pass-1 whole-program view (import graph + symbol table).
+
+        Built once per context, on first use, so single-file rules pay
+        nothing and cross-file rules share one graph.
+        """
+        if self._project is None:
+            self._project = ProjectContext.build(self)
+        return self._project
 
     def tree(self, path: str) -> ast.Module | None:
         return self.files.get(path)
@@ -77,7 +90,7 @@ def find_root(start: Path | None = None) -> Path:
     Falls back to the checkout this package was imported from, so
     ``repro lint`` works from any working directory.
     """
-    candidates = []
+    candidates: list[Path] = []
     if start is not None:
         candidates.extend([start, *start.resolve().parents])
     else:

@@ -45,7 +45,7 @@ def render_text(result: LintResult, *, verbose: bool = False) -> str:
         )
     else:
         summary = f"repro lint: OK ({result.n_files} files, {len(result.rules)} rules)"
-    tail = []
+    tail: list[str] = []
     if result.suppressed:
         tail.append(f"{result.suppressed} suppressed")
     if result.baselined:

@@ -7,6 +7,24 @@ Importing this package registers every rule with
 
 from __future__ import annotations
 
-from . import cachekey, determinism, metrics, oracle, picklability  # noqa: F401
+from . import (  # noqa: F401
+    cachekey,
+    determinism,
+    envboundary,
+    layering,
+    lifecycle,
+    metrics,
+    oracle,
+    picklability,
+)
 
-__all__ = ["cachekey", "determinism", "metrics", "oracle", "picklability"]
+__all__ = [
+    "cachekey",
+    "determinism",
+    "envboundary",
+    "layering",
+    "lifecycle",
+    "metrics",
+    "oracle",
+    "picklability",
+]

@@ -32,7 +32,7 @@ import copy
 import hashlib
 import json
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterator
 
 from ..registry import Violation, register
 from .common import class_field_names, iter_class_defs, referenced_names
@@ -73,7 +73,9 @@ def _function_digest(node: ast.AST) -> str:
     return hashlib.sha256(ast.dump(_strip_docstrings(node)).encode()).hexdigest()[:16]
 
 
-def _iter_token_functions(ctx: "LintContext"):
+def _iter_token_functions(
+    ctx: "LintContext",
+) -> "Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]":
     """(qualified name, node) for every token-participating function."""
     cache_tree = ctx.tree(CACHE_MODULE)
     if cache_tree is not None:
@@ -191,7 +193,7 @@ def _fingerprint_violations(ctx: "LintContext") -> list[Violation]:
 
 
 def _coverage_violations(ctx: "LintContext") -> list[Violation]:
-    out = []
+    out: list[Violation] = []
     for path, tree in ctx.iter_src():
         for cls in iter_class_defs(tree):
             methods = {
@@ -234,5 +236,5 @@ def _coverage_violations(ctx: "LintContext") -> list[Violation]:
     "cache_key/cache_token must cover every public field, and token-"
     "shaping code edits require a CACHE_SCHEMA bump (AST fingerprint)",
 )
-def check(ctx) -> list[Violation]:
+def check(ctx: "LintContext") -> list[Violation]:
     return _fingerprint_violations(ctx) + _coverage_violations(ctx)

@@ -26,9 +26,13 @@ record real wall-clock time.
 from __future__ import annotations
 
 import ast
+from typing import TYPE_CHECKING
 
 from ..registry import Violation, register
 from .common import attribute_chain, import_aliases
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..driver import LintContext
 
 SCOPES = (
     "src/repro/core/",
@@ -56,7 +60,11 @@ ALLOWED_NP_RANDOM = frozenset(
 _BANNED_DT = frozenset({"now", "utcnow", "today"})
 
 
-def _resolve(chain: list[str], aliases, froms) -> list[str]:
+def _resolve(
+    chain: list[str],
+    aliases: dict[str, str],
+    froms: dict[str, tuple[str, str]],
+) -> list[str]:
     """Expand the chain head through the module's imports."""
     head = chain[0]
     if head in aliases:
@@ -67,7 +75,11 @@ def _resolve(chain: list[str], aliases, froms) -> list[str]:
     return chain
 
 
-def _check_call(node: ast.Call, aliases, froms) -> str | None:
+def _check_call(
+    node: ast.Call,
+    aliases: dict[str, str],
+    froms: dict[str, tuple[str, str]],
+) -> str | None:
     """The violation message for one call, or None when it is fine."""
     if isinstance(node.func, ast.Name) and node.func.id == "hash":
         return (
@@ -117,8 +129,8 @@ def _check_call(node: ast.Call, aliases, froms) -> str | None:
     "no global RNG, wall-clock, or process-salted hash() calls in "
     "core/timeseries/net/datasets/experiments",
 )
-def check(ctx) -> list[Violation]:
-    violations = []
+def check(ctx: "LintContext") -> list[Violation]:
+    violations: list[Violation] = []
     for path, tree in ctx.iter_src():
         if not any(path.startswith(scope) for scope in SCOPES):
             continue

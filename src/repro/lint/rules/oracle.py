@@ -19,9 +19,13 @@ binds them now fails lint instead of silently shrinking coverage.
 from __future__ import annotations
 
 import ast
+from typing import TYPE_CHECKING
 
 from ..registry import Violation, register
 from .common import collect_functions, referenced_names
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..driver import LintContext
 
 KERNEL_TESTS = "tests/test_kernels.py"
 SUFFIXES = ("_reference", "_batch")
@@ -30,7 +34,7 @@ SUFFIXES = ("_reference", "_batch")
 def _module_pairs(tree: ast.Module) -> list[tuple[str, str, int]]:
     """(base, twin, twin lineno) pairs defined by one module."""
     functions = collect_functions(tree.body)
-    pairs = []
+    pairs: list[tuple[str, str, int]] = []
     for name, entries in functions.items():
         if name.startswith("_"):
             continue
@@ -55,7 +59,7 @@ def _test_reference_sets(tree: ast.Module) -> list[set[str]]:
         name: referenced_names(entries[0][1])
         for name, entries in collect_functions(tree.body).items()
     }
-    out = []
+    out: list[set[str]] = []
     for name, entries in collect_functions(tree.body).items():
         if not name.startswith("test"):
             continue
@@ -74,11 +78,11 @@ def _test_reference_sets(tree: ast.Module) -> list[set[str]]:
     "public *_reference/*_batch kernels must be co-tested with their twin "
     "in tests/test_kernels.py",
 )
-def check(ctx) -> list[Violation]:
+def check(ctx: "LintContext") -> list[Violation]:
     kernel_tests = ctx.tree(KERNEL_TESTS)
     test_sets = _test_reference_sets(kernel_tests) if kernel_tests is not None else []
 
-    violations = []
+    violations: list[Violation] = []
     for path, tree in ctx.iter_src():
         for base, twin, lineno in _module_pairs(tree):
             if kernel_tests is None:

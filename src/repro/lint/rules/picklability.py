@@ -33,15 +33,19 @@ and only its *result* is stored.
 from __future__ import annotations
 
 import ast
+from typing import TYPE_CHECKING
 
 from ..registry import Violation, register
 from .common import iter_class_defs
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..driver import LintContext
 
 SUFFIX = "Job"
 
 
 def _field_default_violations(cls: ast.ClassDef, path: str) -> list[Violation]:
-    out = []
+    out: list[Violation] = []
     for node in cls.body:
         if isinstance(node, ast.AnnAssign) and node.value is not None:
             value = node.value
@@ -94,7 +98,7 @@ def _call_name(call: ast.Call) -> str | None:
 
 
 def _method_violations(cls: ast.ClassDef, path: str) -> list[Violation]:
-    out = []
+    out: list[Violation] = []
     for method in cls.body:
         if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
             continue
@@ -151,8 +155,8 @@ def _method_violations(cls: ast.ClassDef, path: str) -> list[Violation]:
     "memoryviews, segment buffers) in their attributes — shm crosses "
     "the pool as descriptors only",
 )
-def check(ctx) -> list[Violation]:
-    violations = []
+def check(ctx: "LintContext") -> list[Violation]:
+    violations: list[Violation] = []
     for path, tree in ctx.iter_src():
         for cls in iter_class_defs(tree):
             if not cls.name.endswith(SUFFIX):

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from contextlib import contextmanager
-from typing import Any, Iterator, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 __all__ = [
     "Counter",
@@ -145,7 +145,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: dict[str, Counter | Gauge | MaxGauge | Histogram] = {}
 
-    def _get(self, name: str, cls: type, factory) -> Any:
+    def _get(self, name: str, cls: type, factory: "Callable[[], Any]") -> Any:
         metric = self._metrics.get(name)
         if metric is None:
             metric = factory()

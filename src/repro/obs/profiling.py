@@ -63,7 +63,7 @@ def _label(func: tuple[str, int, str]) -> str:
 
 def top_table(stats: pstats.Stats, n: int = 30) -> str:
     """Aligned top-``n`` functions by cumulative time (deterministic order)."""
-    rows = []
+    rows: list[tuple[float, str, int, int, float, float]] = []
     for func, (cc, nc, tt, ct, _callers) in stats.stats.items():  # type: ignore[attr-defined]
         rows.append((-ct, _label(func), nc, cc, tt, ct))
     rows.sort()
@@ -73,7 +73,7 @@ def top_table(stats: pstats.Stats, n: int = 30) -> str:
         ncalls = str(nc) if nc == cc else f"{nc}/{cc}"
         table.append([ncalls, f"{tt:.4f}", f"{ct:.4f}", label])
     widths = [max(len(r[i]) for r in table) for i in range(3)]
-    lines = []
+    lines: list[str] = []
     for row in table:
         lines.append(
             "  ".join(c.rjust(w) for c, w in zip(row[:3], widths)) + "  " + row[3]
@@ -132,7 +132,7 @@ def collapsed_stacks(stats: pstats.Stats, max_depth: int = _MAX_DEPTH) -> list[s
         ct = raw[root][3]
         descend(root, [], ct)
 
-    out = []
+    out: list[str] = []
     for key in sorted(lines):
         micros = int(round(lines[key] * 1e6))
         if micros > 0:

@@ -262,11 +262,12 @@ def use_progress(emitter: NoopProgress) -> Iterator[NoopProgress]:
 def default_progress() -> NoopProgress:
     """Emitter selected by the environment: ``REPRO_PROGRESS`` names the
     sink directory, ``REPRO_PROGRESS_INTERVAL`` the tick period."""
-    raw = os.environ.get("REPRO_PROGRESS", "").strip()
+    # lazy: obs is imported by core, so a module-level runtime import
+    # would re-enter repro.runtime mid-initialisation
+    from ..runtime import envconfig
+
+    raw = envconfig.raw("REPRO_PROGRESS")
     if not raw:
         return NoopProgress()
-    try:
-        interval = float(os.environ.get("REPRO_PROGRESS_INTERVAL", "2"))
-    except ValueError:
-        interval = 2.0
+    interval = envconfig.get_float("REPRO_PROGRESS_INTERVAL", 2.0)
     return ProgressEmitter(raw, interval_s=interval)

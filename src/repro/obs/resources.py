@@ -80,10 +80,13 @@ def maybe_start_tracemalloc() -> bool:
     Deliberately opt-in: tracing slows allocation-heavy code severely,
     so campaigns only pay for it when explicitly asked.
     """
+    # lazy: obs is imported by core, so a module-level runtime import
+    # would re-enter repro.runtime mid-initialisation
+    from ..runtime import envconfig
+
     if tracemalloc.is_tracing():
         return True
-    raw = os.environ.get("REPRO_TRACEMALLOC", "").strip().lower()
-    if raw in {"", "0", "false", "no"}:
+    if not envconfig.get_bool("REPRO_TRACEMALLOC", False):
         return False
     tracemalloc.start()
     return True

@@ -143,14 +143,18 @@ def write_run(
         _warn_sink_failure(out, exc)
         return out
 
+    # lazy: obs is imported by core, so a module-level runtime import
+    # would re-enter repro.runtime mid-initialisation
+    from ..runtime import envconfig
+
     manifest: dict[str, Any] = {
         "label": label,
         "created_unix": time.time(),
         "trace_id": tracer.trace_id,
         "git": git_describe(),
         "env": {
-            "REPRO_SCALE": os.environ.get("REPRO_SCALE"),
-            "REPRO_WORKERS": os.environ.get("REPRO_WORKERS"),
+            "REPRO_SCALE": envconfig.peek("REPRO_SCALE"),
+            "REPRO_WORKERS": envconfig.peek("REPRO_WORKERS"),
         },
         "executors": sorted({m.executor for m in runs}),
         "wall_s": sum(m.wall_s for m in runs),

@@ -59,6 +59,7 @@ from typing import Any
 import numpy as np
 
 from ..obs.metrics import get_registry
+from . import envconfig
 
 __all__ = [
     "AnalysisCache",
@@ -253,7 +254,7 @@ def default_cache() -> AnalysisCache | None:
     a directory path enables both tiers rooted there.  The CLI's
     ``--cache DIR`` flag sets this variable for the whole run.
     """
-    raw = os.environ.get("REPRO_CACHE", "").strip()
+    raw = envconfig.raw("REPRO_CACHE")
     if not raw:
         return None
     return AnalysisCache(raw)

@@ -27,6 +27,7 @@ from ..obs.names import metric_name
 from ..obs.progress import get_progress
 from ..obs.resources import ResourceTracker, cpu_seconds, format_bytes, peak_rss_bytes
 from ..obs.trace import NoopTracer, SpanRecord, Tracer, get_tracer, use_tracer
+from . import envconfig
 from .cache import AnalysisCache, default_cache
 from .executors import (
     Executor,
@@ -436,7 +437,7 @@ def _resolve_batched(value: bool | None) -> bool:
     """
     if value is not None:
         return bool(value)
-    raw = os.environ.get("REPRO_BATCHED", "").strip()
+    raw = envconfig.raw("REPRO_BATCHED")
     if not raw:
         return True
     lowered = raw.lower()
@@ -462,7 +463,7 @@ def _resolve_shm(value: bool | None) -> bool:
     """
     if value is not None:
         return bool(value)
-    raw = os.environ.get("REPRO_SHM", "").strip()
+    raw = envconfig.raw("REPRO_SHM")
     if not raw:
         return False
     lowered = raw.lower()
@@ -1150,7 +1151,7 @@ def default_engine() -> CampaignEngine:
     engine itself: each run streams through N contiguous shards with
     results spilled to disk between them, bounding coordinator RSS.
     """
-    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    raw = envconfig.raw("REPRO_WORKERS")
     workers = 1
     if raw:
         try:

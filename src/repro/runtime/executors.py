@@ -49,6 +49,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Protocol, runtime_checkable
 
 from ..obs.metrics import get_registry
+from . import envconfig
 from .shm import (
     ArrayDescriptor,
     SharedArrayPool,
@@ -95,7 +96,7 @@ def payload_accounting_enabled() -> bool:
     ``--trace`` runs so their reports keep the pool payload section.
     Accounting never changes results, only whether bytes are counted.
     """
-    raw = os.environ.get("REPRO_PAYLOAD_ACCOUNTING", "").strip().lower()
+    raw = envconfig.raw("REPRO_PAYLOAD_ACCOUNTING").lower()
     if raw in ("1", "true", "yes", "on"):
         return True
     if raw in ("0", "false", "no", "off"):
@@ -197,13 +198,15 @@ class ParallelExecutor:
             self.fallback_reason = f"pool spawn failed: {type(exc).__name__}: {exc}"
             registry.counter("executor.fallbacks").inc()
             return _run_serial(fn, tasks, on_result)
-        # gauges describe a pool that actually exists; emitting them
-        # before the spawn would report a pool that fell back to serial
-        registry.gauge("executor.pool_workers").set(n_workers)
-        registry.gauge("executor.chunk_size").set(chunk)
-        registry.counter("executor.pool_spawns").inc()
         try:
             with pool:
+                # gauges describe a pool that actually exists; emitting
+                # them before the spawn would report a pool that fell
+                # back to serial — and emitting them before `with pool`
+                # could leak the pool if a meter raised (REP006)
+                registry.gauge("executor.pool_workers").set(n_workers)
+                registry.gauge("executor.chunk_size").set(chunk)
+                registry.counter("executor.pool_spawns").inc()
                 proto = pickle.HIGHEST_PROTOCOL
                 fn_bytes = task_bytes = 0
                 if accounting:

@@ -22,9 +22,10 @@ of silently changing execution.
 
 from __future__ import annotations
 
-import os
 import warnings
 from dataclasses import dataclass
+
+from . import envconfig
 
 __all__ = ["ShardPlan", "resolve_shards"]
 
@@ -87,7 +88,7 @@ def resolve_shards(value: int | None) -> int:
     """
     if value is not None:
         return max(int(value), 1)
-    raw = os.environ.get("REPRO_SHARDS", "").strip()
+    raw = envconfig.raw("REPRO_SHARDS")
     if not raw:
         return 1
     try:

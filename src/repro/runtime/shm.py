@@ -51,12 +51,15 @@ from typing import Any, IO
 
 import numpy as np
 
+from . import envconfig
+
 __all__ = [
     "ArrayDescriptor",
     "DEFAULT_MIN_SHM_BYTES",
     "SharedArrayPool",
     "attach_bytes",
     "attach_view",
+    "detach_all",
     "resolve_min_shm_bytes",
     "shm_dumps",
     "shm_loads",
@@ -79,13 +82,9 @@ _PID_TAG = "repro-shm-array"
 
 def resolve_min_shm_bytes() -> int:
     """Publication threshold: ``REPRO_SHM_MIN_BYTES`` or the default."""
-    raw = os.environ.get("REPRO_SHM_MIN_BYTES", "").strip()
-    if not raw:
-        return DEFAULT_MIN_SHM_BYTES
-    try:
-        return max(0, int(raw))
-    except ValueError:
-        return DEFAULT_MIN_SHM_BYTES
+    return envconfig.get_int(
+        "REPRO_SHM_MIN_BYTES", DEFAULT_MIN_SHM_BYTES, minimum=0
+    )
 
 
 @dataclass(frozen=True)
@@ -281,8 +280,26 @@ class _AttachmentCache:
                 break
         return seg
 
+    def close(self) -> None:
+        """Detach every cached segment (idempotent; REP006 lifecycle).
+
+        Segments whose views are still alive raise ``BufferError`` from
+        ``close`` and are kept mapped — same policy as eviction.
+        """
+        for name in list(self._cache):
+            seg = self._cache.pop(name)
+            try:
+                seg.close()
+            except BufferError:  # a view is still alive: keep it mapped
+                self._cache[name] = seg
+
 
 _ATTACHMENTS = _AttachmentCache()
+
+
+def detach_all() -> None:
+    """Close the worker's cached attachments (test teardown hook)."""
+    _ATTACHMENTS.close()
 
 
 def attach_view(desc: ArrayDescriptor) -> np.ndarray:

@@ -51,6 +51,7 @@ from typing import Any, Iterator, Sequence
 import numpy as np
 
 from ..obs.metrics import get_registry
+from . import envconfig
 
 __all__ = [
     "SpillDir",
@@ -88,8 +89,7 @@ def resolve_spill_parent() -> str | None:
     points at a *parent*: every sharded run still gets its own
     ``repro-spill-*`` subdirectory so concurrent runs never collide.
     """
-    raw = os.environ.get("REPRO_SPILL_DIR", "").strip()
-    return raw or None
+    return envconfig.raw("REPRO_SPILL_DIR") or None
 
 
 def _canonical_dtype_view(arr: np.ndarray) -> np.ndarray:

@@ -1,7 +1,16 @@
-"""Shared fixtures: small deterministic worlds and canonical series."""
+"""Shared fixtures: small deterministic worlds and canonical series.
+
+Also wires the opt-in runtime ResourceSanitizer into the suite: run
+``REPRO_SANITIZE=1 pytest`` and every shm segment, process pool, and
+spill directory acquired during the session is tracked, with the
+session failing if anything is still live at the end (the CI
+sanitize-smoke job runs tier-1 exactly this way).
+"""
 
 from __future__ import annotations
 
+import gc
+import sys
 from datetime import date, datetime
 
 import numpy as np
@@ -12,6 +21,30 @@ from repro.net.prober import TrinocularObserver, probe_order
 from repro.net.usage import WorkplaceUsage, round_grid
 from repro.net.world import WorldModel, scenario_covid2020
 from repro.timeseries.series import TimeSeries
+
+#: pytest exit status used when the sanitizer finds leaked resources.
+SANITIZER_EXIT = 3
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    from repro.lint import sanitizer
+
+    sanitizer.install_if_enabled()
+
+
+def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
+    from repro.lint import sanitizer
+
+    san = sanitizer.get_sanitizer()
+    if not san.installed:
+        return
+    gc.collect()  # let finalizer safety nets fire before judging
+    leaks = san.live()
+    if leaks:
+        print(f"\n{san.report()}", file=sys.stderr, flush=True)
+        session.exitstatus = SANITIZER_EXIT
+    # the registry is clean (or reported); keep atexit from re-firing
+    san.uninstall()
 
 
 @pytest.fixture(scope="session")

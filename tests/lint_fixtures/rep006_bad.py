@@ -1,0 +1,29 @@
+"""Violating fixture for REP006: acquisitions leaked on some path."""
+
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+
+
+def leak_dropped() -> None:
+    # acquired with no handle at all: nothing can ever release it
+    shared_memory.SharedMemory(create=True, size=64)
+
+
+def leak_exception_edge(blocks):
+    pool = ProcessPoolExecutor(max_workers=2)
+    results = list(pool.map(len, blocks))  # can raise before shutdown
+    pool.shutdown()
+    return results
+
+
+def leak_never_released():
+    scratch = tempfile.mkdtemp(prefix="fixture-")
+    return "done"
+
+
+class Holder:
+    """Stores a segment on self but can never let go of it again."""
+
+    def __init__(self) -> None:
+        self.seg = shared_memory.SharedMemory(create=True, size=64)

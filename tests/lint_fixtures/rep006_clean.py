@@ -1,0 +1,56 @@
+"""Clean fixture for REP006: every acquisition is protected."""
+
+import shutil
+import tempfile
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+
+import numpy as np
+
+
+def with_context(blocks):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(len, blocks))
+
+
+def try_finally():
+    seg = shared_memory.SharedMemory(create=True, size=64)
+    try:
+        return seg.size
+    finally:
+        seg.close()
+        seg.unlink()
+
+
+def mmap_view(path):
+    with np.load(path, mmap_mode="r") as data:
+        return data["values"].sum()
+
+
+def handoff():
+    seg = shared_memory.SharedMemory(create=True, size=64)
+    _adopt(seg)  # ownership transferred to the callee
+
+
+def _adopt(seg) -> None:
+    seg.close()
+    seg.unlink()
+
+
+class FinalizedOwner:
+    """No lifecycle method, but a GC safety net releases the dir."""
+
+    def __init__(self) -> None:
+        self.scratch = tempfile.mkdtemp(prefix="fixture-")
+        self._finalizer = weakref.finalize(self, shutil.rmtree, self.scratch)
+
+
+class PoolOwner:
+    """Stores the pool on self and owns its shutdown."""
+
+    def __init__(self) -> None:
+        self._pool = ProcessPoolExecutor(max_workers=2)
+
+    def close(self) -> None:
+        self._pool.shutdown()

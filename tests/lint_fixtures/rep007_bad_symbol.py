@@ -1,0 +1,7 @@
+"""Violating fixture for REP007: importing a name that does not exist."""
+
+from ..timeseries.windows import not_a_symbol
+
+
+def use():
+    return not_a_symbol()

@@ -1,0 +1,11 @@
+"""Violating fixture for REP007: a leaf layer reaching up into runtime."""
+
+from repro.runtime.engine import default_engine
+
+
+def clamp(x):
+    return max(0.0, min(1.0, x))
+
+
+def run():
+    return default_engine()

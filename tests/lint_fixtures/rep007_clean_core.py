@@ -1,0 +1,7 @@
+"""Clean fixture for REP007: core importing an existing leaf symbol."""
+
+from ..timeseries.windows import clamp
+
+
+def normalise(x):
+    return clamp(x / 100.0)

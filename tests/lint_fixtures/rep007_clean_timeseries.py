@@ -1,0 +1,11 @@
+"""Clean fixture for REP007: a leaf layer importing nothing from repro."""
+
+import math
+
+
+def clamp(x):
+    return max(0.0, min(1.0, x))
+
+
+def decibels(power):
+    return 10.0 * math.log10(power)

@@ -1,0 +1,7 @@
+"""Half of the REP007 cycle fixture: imports its own importer."""
+
+from .cycle_b import helper_b
+
+
+def helper_a():
+    return helper_b() + 1

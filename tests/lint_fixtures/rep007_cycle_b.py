@@ -1,0 +1,7 @@
+"""Other half of the REP007 cycle fixture."""
+
+from .cycle_a import helper_a
+
+
+def helper_b():
+    return helper_a() + 1

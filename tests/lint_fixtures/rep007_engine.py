@@ -1,0 +1,5 @@
+"""Synthetic runtime.engine for the REP007 fixture trees."""
+
+
+def default_engine():
+    return None

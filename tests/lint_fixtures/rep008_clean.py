@@ -1,0 +1,15 @@
+"""Clean fixture for REP008: every knob goes through the resolver."""
+
+from repro.runtime import envconfig
+
+
+def scale():
+    return envconfig.get_int("REPRO_SCALE", 400)
+
+
+def workers():
+    return envconfig.raw("REPRO_WORKERS")
+
+
+def enable_batched():
+    envconfig.set_env("REPRO_BATCHED", "1")

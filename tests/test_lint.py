@@ -54,9 +54,21 @@ def lint_rule(root: Path, rule: str) -> list[Violation]:
 # the registry is the single source of truth
 
 
-def test_registry_ships_the_five_documented_rules():
+RULE_IDS = [
+    "REP001",
+    "REP002",
+    "REP003",
+    "REP004",
+    "REP005",
+    "REP006",
+    "REP007",
+    "REP008",
+]
+
+
+def test_registry_ships_the_eight_documented_rules():
     rules = all_rules()
-    assert [r.id for r in rules] == ["REP001", "REP002", "REP003", "REP004", "REP005"]
+    assert [r.id for r in rules] == RULE_IDS
     assert all(r.summary for r in rules)
     assert len({r.name for r in rules}) == len(rules)
 
@@ -293,6 +305,110 @@ def test_rep005_clean_registered_names_pass(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# REP006 resource lifecycle
+
+
+def test_rep006_flags_leaks_on_every_path_shape(tmp_path):
+    root = make_tree(
+        tmp_path, {"src/repro/runtime/leaky.py": fixture("rep006_bad.py")}
+    )
+    violations = lint_rule(root, "REP006")
+    messages = " | ".join(v.message for v in violations)
+    assert len(violations) == 4
+    assert "acquired and dropped without a handle" in messages
+    assert "may leak on an exception edge" in messages
+    assert "never released on this path" in messages
+    assert "Holder has no lifecycle method" in messages
+
+
+def test_rep006_protected_acquisitions_pass(tmp_path):
+    root = make_tree(
+        tmp_path, {"src/repro/runtime/managed.py": fixture("rep006_clean.py")}
+    )
+    assert lint_rule(root, "REP006") == []
+
+
+# ---------------------------------------------------------------------------
+# REP007 import layering
+
+
+def _rep007_tree(tmp_path, files):
+    base = {"src/repro/runtime/engine.py": fixture("rep007_engine.py")}
+    base.update(files)
+    return make_tree(tmp_path, base)
+
+
+def test_rep007_flags_layering_cycles_and_missing_symbols(tmp_path):
+    root = _rep007_tree(
+        tmp_path,
+        {
+            "src/repro/timeseries/windows.py": fixture("rep007_bad_timeseries.py"),
+            "src/repro/core/cycle_a.py": fixture("rep007_cycle_a.py"),
+            "src/repro/core/cycle_b.py": fixture("rep007_cycle_b.py"),
+            "src/repro/core/user.py": fixture("rep007_bad_symbol.py"),
+        },
+    )
+    violations = lint_rule(root, "REP007")
+    messages = " | ".join(v.message for v in violations)
+    assert len(violations) == 3
+    assert (
+        "package 'timeseries' may not import package 'runtime'" in messages
+    )
+    assert "module-level import cycle" in messages
+    assert "repro.core.cycle_a" in messages and "repro.core.cycle_b" in messages
+    assert (
+        "from repro.timeseries.windows import not_a_symbol" in messages
+    )
+
+
+def test_rep007_clean_layered_tree_passes(tmp_path):
+    root = _rep007_tree(
+        tmp_path,
+        {
+            "src/repro/timeseries/windows.py": fixture("rep007_clean_timeseries.py"),
+            "src/repro/core/user.py": fixture("rep007_clean_core.py"),
+        },
+    )
+    assert lint_rule(root, "REP007") == []
+
+
+def test_rep007_real_tree_has_no_import_cycles():
+    """Regression guard: the shipped layer map admits no cycle."""
+    context = build_context(REAL_ROOT)
+    assert list(context.project.cycles()) == []
+
+
+# ---------------------------------------------------------------------------
+# REP008 env boundary
+
+
+def test_rep008_flags_every_raw_environment_access(tmp_path):
+    root = make_tree(
+        tmp_path, {"src/repro/core/config.py": fixture("rep008_bad.py")}
+    )
+    violations = lint_rule(root, "REP008")
+    messages = " | ".join(v.message for v in violations)
+    assert len(violations) == 5
+    assert "os.environ" in messages
+    assert "os.getenv" in messages
+    assert "register the knob in repro.runtime.envconfig" in messages
+
+
+def test_rep008_resolver_module_is_exempt(tmp_path):
+    root = make_tree(
+        tmp_path, {"src/repro/runtime/envconfig.py": fixture("rep008_bad.py")}
+    )
+    assert lint_rule(root, "REP008") == []
+
+
+def test_rep008_resolver_users_pass(tmp_path):
+    root = make_tree(
+        tmp_path, {"src/repro/core/config.py": fixture("rep008_clean.py")}
+    )
+    assert lint_rule(root, "REP008") == []
+
+
+# ---------------------------------------------------------------------------
 # driver mechanics: suppressions, baseline, parse errors
 
 
@@ -401,7 +517,7 @@ def test_cli_json_artifact_round_trips(tmp_path, capsys):
     )
     payload = json.loads(out_file.read_text())
     assert code == payload["exit_code"] == 0
-    assert len(payload["rules"]) == 5
+    assert [r["id"] for r in payload["rules"]] == RULE_IDS
 
 
 def test_cli_exit_codes(tmp_path, capsys):
